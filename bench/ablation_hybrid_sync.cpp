@@ -1,0 +1,56 @@
+// §8 extension ablation ("Hybrid approach on TE configuration
+// synchronization"): persistent push connections for the heavy-hitter
+// instances, polling pull for the long tail. Sweeps the covered traffic
+// share and reports controller resources vs traffic-weighted staleness.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "megate/ctrl/hybrid_sync.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header(
+      "Ablation: hybrid TE-config synchronization",
+      "paper §8: persistent connections for heavy-traffic endpoints, "
+      "eventual consistency for the rest ('a small part of the flows "
+      "account for most of the network traffic')");
+
+  // A production-skewed traffic matrix: strongly heavy-tailed demands.
+  bench::InstanceOptions iopt;
+  auto inst = bench::make_instance(topo::TopologyKind::kTwan, 50000, iopt);
+  {
+    tm::TrafficOptions tmo;
+    tmo.demand_sigma = 2.5;
+    tmo.flows_per_endpoint = 1.0;
+    inst->traffic =
+        tm::generate_traffic(inst->graph, inst->layout, tmo, 99);
+  }
+
+  ctrl::SyncCostModel model;
+  util::Table t("hybrid split sweep (TWAN-like, ~50k endpoints)");
+  t.header({"target share", "persistent conns", "polling agents",
+            "covered", "controller cores", "memory (GB)", "DB shards",
+            "mean staleness (s)", "worst (s)"});
+  for (double share : {0.0, 0.5, 0.8, 0.9, 0.99, 1.0}) {
+    ctrl::HybridSyncOptions opt;
+    opt.heavy_traffic_share = share;
+    auto plan = ctrl::plan_hybrid_sync(inst->traffic, model, opt);
+    t.add_row({util::Table::num(100 * share, 0) + "%",
+               util::Table::with_commas(plan.persistent_instances.size()),
+               util::Table::with_commas(plan.polling_instances),
+               util::Table::num(100 * plan.covered_traffic_share, 1) + "%",
+               util::Table::num(plan.resources.cpu_cores, 1),
+               util::Table::num(plan.resources.memory_gb, 2),
+               util::Table::num(plan.resources.db_shards),
+               util::Table::num(plan.mean_staleness_s, 2),
+               util::Table::num(plan.worst_staleness_s, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: covering ~90% of traffic needs only a "
+               "small fraction of endpoints on persistent connections "
+               "(heavy tail), cutting traffic-weighted staleness from "
+               "~5 s to sub-second while the controller stays far below "
+               "the pure top-down cost of Fig. 14.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §8 extension ablation ("Accelerating MaxSiteFlow solving"): the
+// cluster-contracted first stage vs the joint site LP, on the two
+// many-site topologies where stage 1 dominates MegaTE's runtime
+// (Fig. 9 showed Cogentco* stage 1 at ~1.9 s vs ~0.02 s of stage 2).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "megate/te/megate_solver.h"
+#include "megate/te/site_lp.h"
+#include "megate/util/stopwatch.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header(
+      "Ablation: cluster-contracted MaxSiteFlow (stage 1)",
+      "paper §8: 'a synergy between NCFlow ... and SSP to accelerate the "
+      "solving of MaxSiteFlow is worth further investigation'");
+
+  for (auto kind :
+       {topo::TopologyKind::kDeltacom, topo::TopologyKind::kCogentco}) {
+    bench::InstanceOptions iopt;
+    iopt.load = 0.5;
+    auto inst = bench::make_instance(kind, 11300, iopt);
+    auto demands = inst->traffic.site_demands();
+
+    util::Table t(std::string("stage-1 variants on ") + topo::to_string(kind));
+    t.header({"variant", "LP objective", "time (s)", "sub-LPs"});
+
+    util::Stopwatch sw;
+    auto joint = te::solve_max_site_flow(inst->graph, inst->tunnels,
+                                         demands, {}, 0.02);
+    const double joint_s = sw.elapsed_seconds();
+    t.add_row({"joint LP", util::Table::num(joint.objective, 1),
+               util::Table::num(joint_s, 2), "1"});
+
+    for (std::size_t clusters : {2u, 4u, 8u}) {
+      sw.reset();
+      auto contracted = te::solve_max_site_flow_clustered(
+          inst->graph, inst->tunnels, demands, {}, 0.02, clusters);
+      const double s = sw.elapsed_seconds();
+      t.add_row({"contracted x" + std::to_string(clusters),
+                 util::Table::num(contracted.objective, 1) + " (" +
+                     util::Table::num(
+                         100.0 * contracted.objective /
+                             std::max(1e-9, joint.objective),
+                         1) +
+                     "%)",
+                 util::Table::num(s, 2),
+                 std::to_string(clusters * clusters) + " max"});
+    }
+    t.print(std::cout);
+
+    // End-to-end: MegaTE with contracted stage 1.
+    te::MegaTeSolver plain;
+    te::MegaTeOptions copt;
+    copt.stage1_clusters = 4;
+    te::MegaTeSolver contracted(copt);
+    auto sp = plain.solve(inst->problem());
+    auto sc = contracted.solve(inst->problem());
+    std::cout << "MegaTE end-to-end: plain "
+              << util::Table::num(100 * sp.satisfied_ratio(), 1) << "% in "
+              << util::Table::num(sp.solve_time_s, 2) << " s vs contracted "
+              << util::Table::num(100 * sc.satisfied_ratio(), 1) << "% in "
+              << util::Table::num(sc.solve_time_s, 2) << " s\n\n";
+  }
+  std::cout << "Expected shape: contraction cuts stage-1 latency as the "
+               "cluster count grows, at a bounded objective cost (static "
+               "capacity partitioning) — the residual repair pass claws "
+               "back part of it end to end.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#pragma once
+// Shared machinery for the figure/table reproduction benches.
+//
+// Every bench prints (a) the measured series on this machine and (b) the
+// paper's reference values where the paper states them, so EXPERIMENTS.md
+// can record paper-vs-measured side by side. Absolute runtimes will not
+// match the authors' 24-thread Xeon + Gurobi + A30 testbed; the *shape*
+// (ordering, crossovers, scaling walls) is the reproduction target.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "megate/te/types.h"
+#include "megate/tm/endpoints.h"
+#include "megate/tm/traffic.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/tunnels.h"
+#include "megate/util/table.h"
+
+namespace megate::bench {
+
+/// A fully-materialized TE instance.
+struct Instance {
+  topo::Graph graph;
+  topo::TunnelSet tunnels;
+  tm::EndpointLayout layout{std::vector<std::uint32_t>{}};
+  tm::TrafficMatrix traffic;
+
+  te::TeProblem problem() const {
+    te::TeProblem p;
+    p.graph = &graph;
+    p.tunnels = &tunnels;
+    p.traffic = &traffic;
+    return p;
+  }
+};
+
+struct InstanceOptions {
+  std::uint64_t seed = 42;
+  /// Offered load relative to the topology's *routable* capacity
+  /// (total link capacity divided by the mean shortest-tunnel hop count —
+  /// a flow crossing h links consumes h units of capacity). load=1.0
+  /// offers roughly as much demand as the WAN can physically carry.
+  double load = 0.6;
+  double flows_per_endpoint = 1.0;
+  std::uint32_t tunnels_per_pair = 3;
+};
+
+/// Mean hop count of the best tunnel across all site pairs.
+inline double mean_shortest_hops(const topo::TunnelSet& tunnels) {
+  double hops = 0.0;
+  std::size_t n = 0;
+  for (const auto& [pair, ts] : tunnels.all()) {
+    if (ts.empty()) continue;
+    hops += static_cast<double>(ts.front().hops());
+    ++n;
+  }
+  return n > 0 ? hops / static_cast<double>(n) : 1.0;
+}
+
+/// Builds a paper topology with ~`endpoints` endpoints and its traffic.
+inline std::unique_ptr<Instance> make_instance(
+    topo::TopologyKind kind, std::uint64_t endpoints,
+    const InstanceOptions& opt = {}) {
+  auto inst = std::make_unique<Instance>();
+  topo::GeneratorOptions gopt;
+  gopt.seed = opt.seed;
+  inst->graph = topo::make_topology(kind, gopt);
+  topo::TunnelOptions topt;
+  topt.tunnels_per_pair = opt.tunnels_per_pair;
+  inst->tunnels = topo::build_tunnels(inst->graph, topt);
+  inst->layout = tm::generate_endpoints_with_total(inst->graph, endpoints,
+                                                   /*shape=*/0.8, opt.seed);
+  tm::TrafficOptions tmo;
+  tmo.flows_per_endpoint = opt.flows_per_endpoint;
+  tmo.target_total_gbps = tm::total_link_capacity_gbps(inst->graph) *
+                          opt.load / mean_shortest_hops(inst->tunnels);
+  inst->traffic =
+      tm::generate_traffic(inst->graph, inst->layout, tmo, opt.seed + 1);
+  return inst;
+}
+
+/// Reuses a built topology+tunnels, regenerating only endpoints/traffic —
+/// the Fig. 9/10 endpoint sweeps vary scale on a fixed topology.
+inline void rescale_instance(Instance& inst, std::uint64_t endpoints,
+                             const InstanceOptions& opt) {
+  inst.layout = tm::generate_endpoints_with_total(inst.graph, endpoints,
+                                                  0.8, opt.seed);
+  tm::TrafficOptions tmo;
+  tmo.flows_per_endpoint = opt.flows_per_endpoint;
+  tmo.target_total_gbps = tm::total_link_capacity_gbps(inst.graph) *
+                          opt.load / mean_shortest_hops(inst.tunnels);
+  inst.traffic =
+      tm::generate_traffic(inst.graph, inst.layout, tmo, opt.seed + 1);
+}
+
+/// True when the operator asked for the full (slow) paper-scale sweep via
+/// MEGATE_BENCH_FULL=1; the default keeps each bench to a few minutes.
+inline bool full_scale() {
+  const char* v = std::getenv("MEGATE_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n" << std::string(72, '=') << "\n"
+            << title << "\n"
+            << "Paper reference: " << paper_ref << "\n"
+            << std::string(72, '=') << "\n";
+}
+
+}  // namespace megate::bench

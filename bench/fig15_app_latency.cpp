@@ -1,0 +1,35 @@
+// Figure 15 reproduction: packet-latency reduction for five time-
+// sensitive production applications after the MegaTE rollout.
+//
+// Paper headline: all five apps improve; App 1 by more than 51%.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "megate/sim/production.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header(
+      "Figure 15: latency reductions for time-sensitive apps",
+      "App1 video streaming improves by >51%; all five QoS-1 apps improve");
+
+  auto scenario = sim::ProductionScenario::default_scenario();
+  auto results =
+      sim::evaluate_app_latency(scenario, sim::fig15_apps(), /*seed=*/92);
+
+  util::Table t("conventional (hash-mixed) vs MegaTE (class-pinned)");
+  t.header({"app", "conventional (ms)", "MegaTE (ms)", "reduction"});
+  for (const auto& r : results) {
+    t.add_row({r.app, util::Table::num(r.conventional_ms, 1),
+               util::Table::num(r.megate_ms, 1),
+               util::Table::num(r.reduction_pct, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nMechanism: conventional TE five-tuple-hashes each app's "
+               "connections across the 20/42 ms tunnels; MegaTE pins "
+               "class-1 flows to the 20 ms tunnel. Apps with fewer "
+               "connections see larger (luck-dependent) reductions, up to "
+               "the 52.4% ceiling (42->20 ms).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 16 reproduction: monthly availability of a QoS-1 app (App 6,
+// 99.99% requirement) and a QoS-3 app (App 7, 99% requirement) across the
+// MegaTE rollout (December 2022).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "megate/sim/production.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header(
+      "Figure 16: customized service availability across the rollout",
+      "pre-rollout App 6 dips to 99.988% (below its 99.99% SLO); after "
+      "MegaTE: >=99.995% avg; App 7 rides a ~99% path");
+
+  auto scenario = sim::ProductionScenario::default_scenario();
+  auto points = sim::evaluate_availability(scenario, /*seed=*/42);
+
+  util::Table t("monthly availability");
+  t.header({"month", "MegaTE", "App6 (QoS-1, SLO 99.99%)", "App6 meets SLO",
+            "App7 (QoS-3, SLO 99%)"});
+  double after_sum = 0.0;
+  int after_n = 0;
+  for (const auto& p : points) {
+    t.add_row({p.month, p.megate_deployed ? "deployed" : "-",
+               util::Table::num(100 * p.app6_availability, 4) + "%",
+               p.app6_availability >= 0.9999 ? "yes" : "NO",
+               util::Table::num(100 * p.app7_availability, 2) + "%"});
+    if (p.megate_deployed) {
+      after_sum += p.app6_availability;
+      ++after_n;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nApp 6 average after rollout: "
+            << util::Table::num(100 * after_sum / after_n, 4)
+            << "% (paper: 99.995%). Mechanism: MegaTE pins class-1 flows "
+               "to the highest-availability path instead of hash-mixing "
+               "them across all tunnels.\n";
+  return 0;
+}

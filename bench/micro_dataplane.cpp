@@ -1,0 +1,141 @@
+// Data-plane microbenchmarks: header codecs, the eBPF TC pipeline
+// (accounting + SR encapsulation) and router SR forwarding — the per-
+// packet costs §5 argues are cheap enough for end hosts.
+
+#include <benchmark/benchmark.h>
+
+#include "megate/dataplane/host_stack.h"
+#include "megate/dataplane/packet.h"
+#include "megate/dataplane/router.h"
+
+namespace {
+
+using namespace megate::dataplane;
+
+Buffer inner_frame(const FiveTuple& t, std::size_t payload = 256) {
+  Buffer b;
+  EthernetHeader eth;
+  eth.serialize(b);
+  Ipv4Header ip;
+  ip.protocol = t.proto;
+  ip.src_ip = t.src_ip;
+  ip.dst_ip = t.dst_ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderSize + kUdpHeaderSize + payload);
+  ip.serialize(b);
+  UdpHeader udp;
+  udp.src_port = t.src_port;
+  udp.dst_port = t.dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + payload);
+  udp.serialize(b);
+  b.insert(b.end(), payload, 0xCD);
+  return b;
+}
+
+FiveTuple flow_tuple() {
+  FiveTuple t;
+  t.src_ip = 0x0A000001;
+  t.dst_ip = make_overlay_ip(9, 123);
+  t.proto = kProtoUdp;
+  t.src_port = 5001;
+  t.dst_port = 443;
+  return t;
+}
+
+void BM_Ipv4ParseSerialize(benchmark::State& state) {
+  Ipv4Header h;
+  h.total_length = 512;
+  h.src_ip = 1;
+  h.dst_ip = 2;
+  Buffer b;
+  h.serialize(b);
+  b.resize(512);
+  for (auto _ : state) {
+    auto p = Ipv4Header::parse(b);
+    benchmark::DoNotOptimize(p);
+    Buffer out;
+    out.reserve(kIpv4HeaderSize);
+    p->serialize(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ipv4ParseSerialize);
+
+void BM_TcEgressPassThrough(benchmark::State& state) {
+  HostStack hs;
+  const Buffer frame = inner_frame(flow_tuple());
+  for (auto _ : state) {
+    auto v = hs.tc_egress(frame, 0x0A0000FE);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * frame.size());
+}
+BENCHMARK(BM_TcEgressPassThrough);
+
+void BM_TcEgressSrEncap(benchmark::State& state) {
+  HostStack hs;
+  const FiveTuple t = flow_tuple();
+  hs.on_sys_enter_execve(1, 42);
+  hs.on_conntrack_event(t, 1);
+  hs.install_route(42, 9, {3, 5, 9});
+  const Buffer frame = inner_frame(t);
+  for (auto _ : state) {
+    auto v = hs.tc_egress(frame, 0x0A0000FE);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * frame.size());
+}
+BENCHMARK(BM_TcEgressSrEncap);
+
+void BM_RouterSrForward(benchmark::State& state) {
+  HostStack hs;
+  const FiveTuple t = flow_tuple();
+  hs.on_sys_enter_execve(1, 42);
+  hs.on_conntrack_event(t, 1);
+  hs.install_route(42, 9, {3, 5, 9});
+  const Buffer pkt = hs.tc_egress(inner_frame(t), 0x0A0000FE).packet;
+  Router router(3, 4);
+  for (auto _ : state) {
+    auto d = router.forward(pkt);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterSrForward);
+
+void BM_EcmpHash(benchmark::State& state) {
+  FiveTuple t = flow_tuple();
+  std::uint32_t sum = 0;
+  for (auto _ : state) {
+    t.src_port++;
+    sum += Router::ecmp_hash(t, 64);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcmpHash);
+
+void BM_FlowReportCollection(benchmark::State& state) {
+  HostStack hs;
+  // 1000 flows across 100 instances.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    FiveTuple t = flow_tuple();
+    t.src_port = static_cast<std::uint16_t>(1000 + i);
+    hs.on_sys_enter_execve(i % 100, i % 100);
+    hs.on_conntrack_event(t, i % 100);
+    hs.tc_egress(inner_frame(t, 64), 0);
+  }
+  for (auto _ : state) {
+    auto report = hs.collect_flow_report(/*reset=*/false);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FlowReportCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

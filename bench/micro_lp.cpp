@@ -1,0 +1,86 @@
+// LP backend ablation: exact dense simplex vs the Garg-Konemann packing
+// solver on MaxSiteFlow-shaped instances, measuring both runtime and the
+// optimality gap — the design decision behind SiteLpOptions::kAuto.
+
+#include <benchmark/benchmark.h>
+
+#include "megate/lp/packing.h"
+#include "megate/lp/simplex.h"
+#include "megate/util/rng.h"
+
+namespace {
+
+using namespace megate;
+
+/// Random site-LP-shaped packing model: `pairs` demand rows x 3 tunnels,
+/// `links` capacity rows, each tunnel crossing 2-5 links.
+lp::Model site_shaped_model(int pairs, int links, std::uint64_t seed) {
+  util::Rng rng(seed);
+  lp::Model m;
+  std::vector<std::size_t> link_rows;
+  for (int e = 0; e < links; ++e) {
+    link_rows.push_back(m.add_constraint(rng.uniform(100.0, 400.0)));
+  }
+  for (int k = 0; k < pairs; ++k) {
+    const std::size_t demand_row =
+        m.add_constraint(rng.uniform(1.0, 50.0));
+    for (int t = 0; t < 3; ++t) {
+      const auto var = m.add_variable(1.0 - 1e-3 * (1.0 + 0.3 * t));
+      m.add_coefficient(demand_row, var, 1.0);
+      const int hops = 2 + static_cast<int>(rng.uniform_int(0, 3));
+      for (int h = 0; h < hops; ++h) {
+        m.add_coefficient(link_rows[rng.uniform_int(0, links - 1)], var,
+                          1.0);
+      }
+    }
+  }
+  return m;
+}
+
+void BM_Simplex(benchmark::State& state) {
+  auto model = site_shaped_model(static_cast<int>(state.range(0)), 40, 7);
+  double obj = 0.0;
+  for (auto _ : state) {
+    auto sol = lp::SimplexSolver().solve(model);
+    obj = sol.objective;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["objective"] = obj;
+}
+BENCHMARK(BM_Simplex)->Arg(20)->Arg(60)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_Packing(benchmark::State& state) {
+  auto model = site_shaped_model(static_cast<int>(state.range(0)), 40, 7);
+  // The gap vs the simplex optimum, reported as a counter.
+  const double exact = lp::SimplexSolver().solve(model).objective;
+  lp::PackingOptions opt;
+  opt.epsilon = 0.07;
+  double obj = 0.0;
+  for (auto _ : state) {
+    auto sol = lp::PackingSolver(opt).solve(model);
+    obj = sol.objective;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["objective"] = obj;
+  state.counters["gap%"] = exact > 0 ? 100.0 * (1.0 - obj / exact) : 0.0;
+}
+BENCHMARK(BM_Packing)->Arg(20)->Arg(60)->Arg(150)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PackingLargeOnly(benchmark::State& state) {
+  // Scales where the dense simplex tableau would not fit: packing only.
+  auto model =
+      site_shaped_model(static_cast<int>(state.range(0)), 160, 11);
+  lp::PackingOptions opt;
+  opt.epsilon = 0.1;
+  for (auto _ : state) {
+    auto sol = lp::PackingSolver(opt).solve(model);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PackingLargeOnly)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

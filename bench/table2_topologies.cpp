@@ -1,0 +1,48 @@
+// Table 2 reproduction: the four evaluation topologies with their site
+// counts and endpoint scale.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header("Table 2: network topologies",
+                      "B4* 12/120,000 - Deltacom* 113/1,130,000 - "
+                      "Cogentco* 197/1,970,000 - TWAN O(100)/O(1,000,000)");
+
+  struct Row {
+    topo::TopologyKind kind;
+    std::uint64_t endpoints;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {topo::TopologyKind::kB4, 120000, "12 sites / 120,000 endpoints"},
+      {topo::TopologyKind::kDeltacom, 1130000,
+       "113 sites / 1,130,000 endpoints"},
+      {topo::TopologyKind::kCogentco, 1970000,
+       "197 sites / 1,970,000 endpoints"},
+      {topo::TopologyKind::kTwan, 1000000,
+       "O(100) sites / O(1,000,000) endpoints"},
+  };
+
+  util::Table t("generated topologies at paper scale");
+  t.header({"topology", "sites", "duplex links", "tunnels", "endpoints",
+            "paper"});
+  for (const Row& r : rows) {
+    topo::GeneratorOptions gopt;
+    gopt.seed = 42;
+    auto g = topo::make_topology(r.kind, gopt);
+    topo::TunnelOptions topt;
+    topt.tunnels_per_pair = 3;
+    auto tunnels = topo::build_tunnels(g, topt);
+    auto layout =
+        tm::generate_endpoints_with_total(g, r.endpoints, 0.8, 42);
+    t.add_row({topo::to_string(r.kind), util::Table::num(g.num_nodes()),
+               util::Table::num(g.num_links() / 2),
+               util::Table::num(tunnels.total_tunnels()),
+               util::Table::with_commas(layout.total_endpoints()), r.paper});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: build a WAN, attach endpoints, generate endpoint-granular
+// traffic, run the MegaTE two-stage solver and inspect the allocation.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API; see the other examples
+// for failover, QoS scheduling and the packet-level data plane.
+
+#include <iostream>
+
+#include "megate/te/checker.h"
+#include "megate/te/megate_solver.h"
+#include "megate/tm/endpoints.h"
+#include "megate/tm/traffic.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/tunnels.h"
+#include "megate/util/table.h"
+
+int main() {
+  using namespace megate;
+
+  // 1. A B4-scale WAN: 12 router sites, 19 duplex links, geometric
+  //    latencies, deterministic in the seed.
+  topo::GeneratorOptions gopt;
+  gopt.seed = 1;
+  topo::Graph wan = topo::make_topology(topo::TopologyKind::kB4, gopt);
+  std::cout << "WAN: " << wan.num_nodes() << " sites, "
+            << wan.num_links() / 2 << " duplex links\n";
+
+  // 2. Pre-establish TE tunnels (Yen's 3-shortest paths per site pair).
+  topo::TunnelOptions topt;
+  topt.tunnels_per_pair = 3;
+  topo::TunnelSet tunnels = topo::build_tunnels(wan, topt);
+  std::cout << "Tunnels: " << tunnels.total_tunnels() << " across "
+            << tunnels.num_pairs() << " site pairs\n";
+
+  // 3. Endpoints per site follow the paper's Weibull fit; traffic is
+  //    heavy-tailed with three QoS classes.
+  tm::EndpointLayout layout =
+      tm::generate_endpoints_with_total(wan, /*target_total=*/2000,
+                                        /*shape=*/0.8, /*seed=*/2);
+  tm::TrafficOptions tmo;
+  tmo.flows_per_endpoint = 1.5;
+  tmo.target_total_gbps = tm::total_link_capacity_gbps(wan) * 0.35;
+  tm::TrafficMatrix traffic = tm::generate_traffic(wan, layout, tmo, 3);
+  std::cout << "Traffic: " << traffic.num_flows() << " endpoint flows, "
+            << util::Table::num(traffic.total_demand_gbps(), 1)
+            << " Gbps total demand\n\n";
+
+  // 4. Solve with MegaTE: MaxSiteFlow LP, then parallel FastSSP.
+  te::TeProblem problem;
+  problem.graph = &wan;
+  problem.tunnels = &tunnels;
+  problem.traffic = &traffic;
+  te::MegaTeSolver solver;
+  te::TeSolution sol = solver.solve(problem);
+
+  std::cout << "MegaTE satisfied "
+            << util::Table::num(100.0 * sol.satisfied_ratio(), 1)
+            << "% of demand in "
+            << util::Table::num(sol.solve_time_s * 1e3, 1) << " ms (stage1 "
+            << util::Table::num(solver.last_stage1_seconds() * 1e3, 1)
+            << " ms LP, stage2 "
+            << util::Table::num(solver.last_stage2_seconds() * 1e3, 1)
+            << " ms FastSSP)\n";
+
+  // 5. Validate against the paper's constraints (1a)-(1c).
+  te::CheckOptions copt;
+  copt.require_flow_assignment = true;
+  auto check = te::check_solution(problem, sol, copt);
+  std::cout << "Constraint check: " << (check.ok ? "OK" : "VIOLATED")
+            << ", max link utilization "
+            << util::Table::num(100.0 * check.max_link_utilization, 1)
+            << "%\n\n";
+
+  // 6. Peek at one site pair's allocation.
+  for (const auto& [pair, alloc] : sol.pairs) {
+    const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+    if (ts.empty() || alloc.tunnel_alloc.empty()) continue;
+    double total = 0;
+    for (double f : alloc.tunnel_alloc) total += f;
+    if (total <= 0) continue;
+    std::cout << "Example pair " << wan.node_name(pair.src) << " -> "
+              << wan.node_name(pair.dst) << ":\n";
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+      std::cout << "  tunnel " << t << " (" << ts[t].hops() << " hops, "
+                << util::Table::num(ts[t].latency_ms, 1) << " ms): "
+                << util::Table::num(alloc.tunnel_alloc[t], 2) << " Gbps\n";
+    }
+    break;
+  }
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+#include "megate/ctrl/agent.h"
+
+#include <algorithm>
+
+namespace megate::ctrl {
+namespace {
+
+/// Deterministic per-agent phase in [0, spread).
+double poll_phase(std::uint64_t instance_id, double spread) {
+  std::uint64_t h = instance_id * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return spread * static_cast<double>(h % 1000000ull) / 1e6;
+}
+
+}  // namespace
+
+EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
+                             dataplane::HostStack* stack,
+                             AgentOptions options)
+    : instance_id_(instance_id),
+      store_(store),
+      stack_(stack),
+      options_(options),
+      next_poll_s_(poll_phase(instance_id,
+                              options.spread_interval_s > 0.0
+                                  ? options.spread_interval_s
+                                  : options.poll_interval_s)) {}
+
+const std::vector<std::uint32_t>& EndpointAgent::hops_for(
+    std::uint32_t dst_site) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const RouteEntry* wildcard = nullptr;
+  for (const RouteEntry& r : routes_) {
+    if (r.dst_site == dst_site) return r.hops;
+    if (r.dst_site == dataplane::kAnyDstSite) wildcard = &r;
+  }
+  return wildcard != nullptr ? wildcard->hops : kEmpty;
+}
+
+void EndpointAgent::tick(double now_s) {
+  while (now_s >= next_poll_s_) {
+    ++polls_;
+    const Version v = store_->version();
+    if (v != applied_) {
+      // Version changed: pull our entry with a short connection.
+      if (auto entry = store_->get(path_key(instance_id_))) {
+        // Uninstall routes that disappeared, then install the new table.
+        std::vector<RouteEntry> fresh = decode_routes(*entry);
+        if (stack_ != nullptr) {
+          for (const RouteEntry& old : routes_) {
+            const bool kept = std::any_of(
+                fresh.begin(), fresh.end(), [&](const RouteEntry& r) {
+                  return r.dst_site == old.dst_site;
+                });
+            if (!kept) stack_->install_route(instance_id_, old.dst_site, {});
+          }
+          for (const RouteEntry& r : fresh) {
+            stack_->install_route(instance_id_, r.dst_site, r.hops);
+          }
+        }
+        routes_ = std::move(fresh);
+      }
+      applied_ = v;
+      last_apply_s_ = next_poll_s_;
+    }
+    next_poll_s_ += options_.poll_interval_s;
+  }
+}
+
+std::vector<double> measure_sync_lags(KvStore& store, std::size_t n_agents,
+                                      const AgentOptions& options,
+                                      double publish_at_s, double horizon_s,
+                                      double tick_step_s) {
+  std::vector<EndpointAgent> agents;
+  agents.reserve(n_agents);
+  std::vector<std::pair<std::string, std::string>> seed;
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    seed.emplace_back(path_key(i), "*:1,2");
+    agents.emplace_back(i, &store, nullptr, options);
+  }
+
+  bool published = false;
+  for (double now = 0.0; now <= horizon_s; now += tick_step_s) {
+    if (!published && now >= publish_at_s) {
+      store.publish(seed);  // the config update whose spread we measure
+      published = true;
+    }
+    for (auto& a : agents) a.tick(now);
+  }
+
+  std::vector<double> lags;
+  lags.reserve(n_agents);
+  const Version target = store.version();
+  for (const auto& a : agents) {
+    if (a.applied_version() == target && a.last_apply_time_s() >= 0.0) {
+      lags.push_back(a.last_apply_time_s() - publish_at_s);
+    }
+  }
+  return lags;
+}
+
+}  // namespace megate::ctrl

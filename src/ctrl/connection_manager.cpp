@@ -1,0 +1,30 @@
+#include "megate/ctrl/connection_manager.h"
+
+namespace megate::ctrl {
+
+void ConnectionManager::run(double seconds) {
+  // Each connection produces heartbeat_interval-spaced keepalives; over a
+  // window the expected count is time/interval per connection.
+  const double beats_per_conn = seconds / options_.heartbeat_interval_s;
+  const double beats =
+      beats_per_conn * static_cast<double>(connections_);
+  heartbeats_ += static_cast<std::uint64_t>(beats);
+  busy_s_ += beats * options_.cpu_seconds_per_heartbeat;
+  sim_time_s_ += seconds;
+}
+
+void ConnectionManager::push_config_all() {
+  busy_s_ += static_cast<double>(connections_) *
+             options_.cpu_seconds_per_push;
+}
+
+double ConnectionManager::cpu_utilization() const noexcept {
+  return sim_time_s_ > 0.0 ? busy_s_ / sim_time_s_ : 0.0;
+}
+
+double ConnectionManager::memory_mb() const noexcept {
+  return static_cast<double>(connections_) * options_.memory_kb_per_conn /
+         1024.0;
+}
+
+}  // namespace megate::ctrl

@@ -1,0 +1,136 @@
+#include "megate/ctrl/controller.h"
+
+#include <charconv>
+#include <unordered_map>
+
+#include "megate/dataplane/host_stack.h"
+
+namespace megate::ctrl {
+
+std::string path_key(std::uint64_t instance_id) {
+  return "path/" + std::to_string(instance_id);
+}
+
+std::string encode_hops(const std::vector<std::uint32_t>& hops) {
+  std::string out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(hops[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> decode_hops(const std::string& text) {
+  std::vector<std::uint32_t> hops;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  while (p < end) {
+    std::uint32_t v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{}) break;  // malformed tail: keep what parsed
+    hops.push_back(v);
+    p = next;
+    if (p < end && *p == ',') ++p;
+  }
+  return hops;
+}
+
+std::string encode_routes(const std::vector<RouteEntry>& routes) {
+  std::string out;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (i) out.push_back('|');
+    if (routes[i].dst_site == dataplane::kAnyDstSite) {
+      out.push_back('*');
+    } else {
+      out += std::to_string(routes[i].dst_site);
+    }
+    out.push_back(':');
+    out += encode_hops(routes[i].hops);
+  }
+  return out;
+}
+
+std::vector<RouteEntry> decode_routes(const std::string& text) {
+  std::vector<RouteEntry> routes;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('|', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) continue;  // malformed entry: skip
+    RouteEntry r;
+    const std::string site = entry.substr(0, colon);
+    if (site == "*") {
+      r.dst_site = dataplane::kAnyDstSite;
+    } else {
+      std::uint32_t v = 0;
+      auto [p, ec] = std::from_chars(site.data(), site.data() + site.size(), v);
+      if (ec != std::errc{}) continue;
+      r.dst_site = v;
+    }
+    r.hops = decode_hops(entry.substr(colon + 1));
+    routes.push_back(std::move(r));
+  }
+  return routes;
+}
+
+Version Controller::publish_solution(const te::TeProblem& problem,
+                                     const te::TeSolution& sol) {
+  // Collect each source instance's route table: one entry per destination
+  // site it has an assigned flow towards. When several flows of the same
+  // (instance, destination site) land on different tunnels, the largest
+  // flow's tunnel wins — the instance-level pinning of §4.1.
+  struct Picked {
+    double demand = -1.0;
+    RouteEntry route;
+  };
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint32_t, Picked>>
+      tables;
+  for (const auto& [pair, alloc] : sol.pairs) {
+    if (alloc.flow_tunnel.empty()) continue;
+    auto it = problem.traffic->pairs().find(pair);
+    if (it == problem.traffic->pairs().end()) continue;
+    const auto& flows = it->second;
+    const auto& tunnels = problem.tunnels->tunnels(pair.src, pair.dst);
+    for (std::size_t i = 0;
+         i < flows.size() && i < alloc.flow_tunnel.size(); ++i) {
+      const std::int32_t t = alloc.flow_tunnel[i];
+      if (t < 0 || static_cast<std::size_t>(t) >= tunnels.size()) continue;
+      Picked& slot = tables[flows[i].src][pair.dst];
+      if (flows[i].demand_gbps <= slot.demand) continue;
+      slot.demand = flows[i].demand_gbps;
+      slot.route.dst_site = pair.dst;
+      slot.route.hops.clear();
+      for (topo::EdgeId e : tunnels[t].links) {
+        slot.route.hops.push_back(problem.graph->link(e).dst);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> batch;
+  batch.reserve(tables.size());
+  for (const auto& [instance, by_site] : tables) {
+    std::vector<RouteEntry> routes;
+    routes.reserve(by_site.size());
+    for (const auto& [site, picked] : by_site) {
+      routes.push_back(picked.route);
+    }
+    batch.emplace_back(path_key(instance), encode_routes(routes));
+  }
+  published_ += batch.size();
+  return store_->publish(batch);
+}
+
+Version Controller::publish_path(std::uint64_t instance_id,
+                                 const std::vector<std::uint32_t>& hops) {
+  ++published_;
+  RouteEntry r;
+  r.dst_site = dataplane::kAnyDstSite;
+  r.hops = hops;
+  return store_->publish({{path_key(instance_id), encode_routes({r})}});
+}
+
+}  // namespace megate::ctrl

@@ -1,0 +1,73 @@
+#include "megate/ctrl/hybrid_sync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace megate::ctrl {
+
+HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
+                                const SyncCostModel& model,
+                                const HybridSyncOptions& options) {
+  if (options.heavy_traffic_share < 0.0 ||
+      options.heavy_traffic_share > 1.0) {
+    throw std::invalid_argument("heavy_traffic_share must be in [0, 1]");
+  }
+  HybridSyncPlan plan;
+
+  // Aggregate traffic per source instance.
+  std::unordered_map<std::uint64_t, double> per_instance;
+  double total = 0.0;
+  for (const auto& [pair, flows] : traffic.pairs()) {
+    for (const tm::EndpointDemand& f : flows) {
+      per_instance[f.src] += f.demand_gbps;
+      total += f.demand_gbps;
+    }
+  }
+  if (per_instance.empty() || total <= 0.0) {
+    plan.resources = model.bottom_up(0);
+    return plan;
+  }
+
+  // Heaviest-first prefix covering the requested share.
+  std::vector<std::pair<std::uint64_t, double>> ranked(per_instance.begin(),
+                                                       per_instance.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  double covered = 0.0;
+  for (const auto& [instance, volume] : ranked) {
+    if (covered >= options.heavy_traffic_share * total) break;
+    plan.persistent_instances.push_back(instance);
+    covered += volume;
+  }
+  plan.covered_traffic_share = covered / total;
+  plan.polling_instances =
+      ranked.size() - plan.persistent_instances.size();
+
+  // Controller resources: persistent connections cost what the pressure
+  // test measured; the polling tail rides the flat bottom-up machinery.
+  const std::uint64_t conns = plan.persistent_instances.size();
+  const SyncResources pushed = model.top_down(conns);
+  const SyncResources pulled = model.bottom_up(plan.polling_instances);
+  plan.resources.cpu_cores =
+      (conns > 0 ? pushed.cpu_cores : 0.0) + pulled.cpu_cores;
+  plan.resources.memory_gb =
+      (conns > 0 ? pushed.memory_gb : 0.0) + pulled.memory_gb;
+  plan.resources.db_shards = pulled.db_shards;
+
+  // Staleness: pushed traffic updates in push_latency_s; polling traffic
+  // in poll_interval/2 on average, poll_interval worst case.
+  const double poll_mean = options.poll_interval_s / 2.0;
+  plan.mean_staleness_s =
+      plan.covered_traffic_share * options.push_latency_s +
+      (1.0 - plan.covered_traffic_share) * poll_mean;
+  plan.worst_staleness_s = plan.polling_instances > 0
+                               ? options.poll_interval_s
+                               : options.push_latency_s;
+  return plan;
+}
+
+}  // namespace megate::ctrl

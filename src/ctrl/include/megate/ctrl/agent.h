@@ -1,0 +1,67 @@
+#pragma once
+// The endpoint agent of the bottom-up control loop (§3.2, Fig. 4b).
+//
+// Each agent polls the TE database's version with a cheap short-lived
+// query; only when the version moved does it pull its own path entry and
+// install it into the host stack. To keep database load flat, the fleet is
+// divided over the spread interval (§3.2: "each part initiates queries
+// asynchronously during a specific time period, e.g. 10 seconds") — an
+// agent's poll phase is a deterministic hash of its id.
+
+#include <cstdint>
+#include <vector>
+
+#include "megate/ctrl/controller.h"
+#include "megate/ctrl/kvstore.h"
+#include "megate/dataplane/host_stack.h"
+
+namespace megate::ctrl {
+
+struct AgentOptions {
+  double poll_interval_s = 10.0;  ///< version-check period
+  /// Fleet phase-spreading window; 0 (default) means "one poll interval",
+  /// which spreads the fleet's queries evenly over the polling period.
+  double spread_interval_s = 0.0;
+};
+
+class EndpointAgent {
+ public:
+  /// `stack` may be null (pure control-plane simulations).
+  EndpointAgent(std::uint64_t instance_id, KvStore* store,
+                dataplane::HostStack* stack, AgentOptions options = {});
+
+  /// Drives the agent to simulation time `now_s`; polls whenever due.
+  void tick(double now_s);
+
+  std::uint64_t instance_id() const noexcept { return instance_id_; }
+  Version applied_version() const noexcept { return applied_; }
+  /// Simulation time the latest config was applied (-1 if never).
+  double last_apply_time_s() const noexcept { return last_apply_s_; }
+  /// The route table pulled from the TE database.
+  const std::vector<RouteEntry>& routes() const noexcept { return routes_; }
+  /// Hops towards `dst_site` (exact match, then wildcard; empty if none).
+  const std::vector<std::uint32_t>& hops_for(std::uint32_t dst_site) const;
+  std::uint64_t polls() const noexcept { return polls_; }
+
+ private:
+  std::uint64_t instance_id_;
+  KvStore* store_;
+  dataplane::HostStack* stack_;
+  AgentOptions options_;
+  double next_poll_s_;
+  Version applied_ = 0;
+  double last_apply_s_ = -1.0;
+  std::vector<RouteEntry> routes_;
+  std::uint64_t polls_ = 0;
+};
+
+/// Convergence experiment: `n_agents` agents polling `store`; a publish
+/// happens at `publish_at_s`; returns each agent's apply lag (seconds
+/// after the publish). The maximum is the eventual-consistency window the
+/// paper's §8 discussion quotes ("several seconds").
+std::vector<double> measure_sync_lags(KvStore& store, std::size_t n_agents,
+                                      const AgentOptions& options,
+                                      double publish_at_s,
+                                      double horizon_s, double tick_step_s);
+
+}  // namespace megate::ctrl

@@ -1,0 +1,59 @@
+#pragma once
+// The MegaTE controller: turns a TE solution into per-instance path
+// entries in the TE database (§3.2, Fig. 4b). There are no persistent
+// connections to endpoints — publishing is one batched database write
+// plus a version bump; endpoints pull asynchronously.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "megate/ctrl/kvstore.h"
+#include "megate/te/types.h"
+
+namespace megate::ctrl {
+
+/// Key under which an instance's route table is stored.
+std::string path_key(std::uint64_t instance_id);
+
+/// Serialization of a hop list ("3,17,42"); empty vector <-> empty string.
+std::string encode_hops(const std::vector<std::uint32_t>& hops);
+std::vector<std::uint32_t> decode_hops(const std::string& text);
+
+/// One TE route of an instance: the SR hop list towards one destination
+/// site (dataplane::kAnyDstSite = wildcard).
+struct RouteEntry {
+  std::uint32_t dst_site = 0;
+  std::vector<std::uint32_t> hops;
+
+  bool operator==(const RouteEntry&) const = default;
+};
+
+/// Route-table serialization: "dst:h1,h2|dst:h3" ('*' for the wildcard).
+std::string encode_routes(const std::vector<RouteEntry>& routes);
+std::vector<RouteEntry> decode_routes(const std::string& text);
+
+class Controller {
+ public:
+  explicit Controller(KvStore* store) : store_(store) {}
+
+  /// Publishes the per-source-instance route tables of `sol`: for every
+  /// assigned endpoint flow, the source instance's table gains an entry
+  /// (destination site -> tunnel hop sequence). Returns the new config
+  /// version. Unassigned flows get no entry (fall back to hashing).
+  Version publish_solution(const te::TeProblem& problem,
+                           const te::TeSolution& sol);
+
+  /// Publishes a single wildcard path for one instance (tests / targeted
+  /// updates).
+  Version publish_path(std::uint64_t instance_id,
+                       const std::vector<std::uint32_t>& hops);
+
+  std::uint64_t entries_published() const noexcept { return published_; }
+
+ private:
+  KvStore* store_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace megate::ctrl

@@ -1,0 +1,69 @@
+#pragma once
+// The TE database of §3.2: a sharded, versioned, in-memory key-value store
+// (the production system customizes Redis; we implement the mechanism
+// directly). The controller publishes whole TE configurations under an
+// incrementing version; endpoints poll the version with a cheap query and
+// pull their own key only when it changed — the bottom-up control loop.
+//
+// Thread-safe: one mutex per shard plus an atomic version counter, so the
+// "160,000 concurrent queries per second using two shards" claim (§3.2)
+// can be benchmarked honestly (bench/micro_kvstore).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace megate::ctrl {
+
+using Version = std::uint64_t;
+
+class KvStore {
+ public:
+  explicit KvStore(std::size_t shards = 2);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Writes one key (no version bump; use publish for config pushes).
+  void put(const std::string& key, std::string value);
+
+  /// Atomically writes a batch and bumps the config version — what the
+  /// controller does each TE interval or on failure (§3.2).
+  Version publish(const std::vector<std::pair<std::string, std::string>>&
+                      batch);
+
+  /// Cheap version query (the endpoint heart of the pull loop).
+  Version version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  std::size_t size() const;
+
+  /// Total GET/VERSION queries served since construction (QPS bench).
+  std::uint64_t query_count() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> data;
+  };
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<Version> version_{0};
+  mutable std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace megate::ctrl

@@ -1,0 +1,48 @@
+#pragma once
+// Resource model of TE-configuration synchronization (§6.4, Figs. 13-14).
+//
+// Calibrated to the paper's pressure-test measurements on a 1-core/1-GB
+// cloud VM: 6,000 persistent connections saturate the core at 90% CPU and
+// 750 MB of memory, hence ~167 such cores and ~125 GB at one million
+// endpoints. The bottom-up design replaces all of that with database
+// writes: one core and 1 GB regardless of fleet size, plus database
+// shards sized from the paper's 80k QPS-per-shard figure.
+
+#include <cstdint>
+
+namespace megate::ctrl {
+
+struct SyncResources {
+  double cpu_cores = 0.0;   ///< cores at the 90%-utilization ceiling
+  double memory_gb = 0.0;
+  std::uint64_t db_shards = 0;  ///< 0 for the top-down approach
+};
+
+struct SyncCostModel {
+  // Per-connection costs measured by the paper's pressure test.
+  double cpu_fraction_per_conn = 0.90 / 6000.0;  ///< of one core
+  double memory_mb_per_conn = 750.0 / 6000.0;
+  /// Utilization ceiling operators tolerate (§6.4: sustained 90% risks
+  /// failures, so capacity is provisioned at that ceiling).
+  double cpu_ceiling = 0.90;
+  /// Each KV shard of the TE database sustains this many queries/s
+  /// (§3.2: 160,000 QPS on two shards).
+  double shard_qps = 80000.0;
+  /// Endpoints spread their polls over this window (§3.2: e.g. 10 s).
+  double spread_interval_s = 10.0;
+
+  /// CPU% (of one core, may exceed 100) and memory for `connections`
+  /// persistent connections on a single VM (Fig. 13).
+  double top_down_cpu_percent(std::uint64_t connections) const;
+  double top_down_memory_mb(std::uint64_t connections) const;
+
+  /// Controller-side resources to keep `endpoints` synchronized top-down:
+  /// enough cores to stay under the ceiling (Fig. 14).
+  SyncResources top_down(std::uint64_t endpoints) const;
+
+  /// Bottom-up: the controller needs one core and 1 GB to write configs;
+  /// the query load lands on the database, sized by QPS.
+  SyncResources bottom_up(std::uint64_t endpoints) const;
+};
+
+}  // namespace megate::ctrl

@@ -1,0 +1,65 @@
+#include "megate/ctrl/kvstore.h"
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace megate::ctrl {
+
+KvStore::KvStore(std::size_t shards) {
+  if (shards == 0) throw std::invalid_argument("need at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+KvStore::Shard& KvStore::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const KvStore::Shard& KvStore::shard_for(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void KvStore::put(const std::string& key, std::string value) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  s.data[key] = std::move(value);
+}
+
+Version KvStore::publish(
+    const std::vector<std::pair<std::string, std::string>>& batch) {
+  // Write all keys first, then bump the version: a reader that sees the
+  // new version is guaranteed to find the new values (release/acquire on
+  // version_ orders the writes). Readers racing mid-batch simply keep the
+  // old version — eventual consistency, exactly the §3.2 contract.
+  for (const auto& [key, value] : batch) put(key, value);
+  return version_.fetch_add(1, std::memory_order_release) + 1;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  auto it = s.data.find(key);
+  if (it == s.data.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::erase(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  return s.data.erase(key) > 0;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    total += s->data.size();
+  }
+  return total;
+}
+
+}  // namespace megate::ctrl

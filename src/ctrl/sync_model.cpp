@@ -1,0 +1,40 @@
+#include "megate/ctrl/sync_model.h"
+
+#include <cmath>
+
+namespace megate::ctrl {
+
+double SyncCostModel::top_down_cpu_percent(std::uint64_t connections) const {
+  return 100.0 * cpu_fraction_per_conn * static_cast<double>(connections);
+}
+
+double SyncCostModel::top_down_memory_mb(std::uint64_t connections) const {
+  return memory_mb_per_conn * static_cast<double>(connections);
+}
+
+SyncResources SyncCostModel::top_down(std::uint64_t endpoints) const {
+  SyncResources r;
+  const double raw_cores =
+      cpu_fraction_per_conn * static_cast<double>(endpoints) / cpu_ceiling;
+  r.cpu_cores = std::ceil(raw_cores);
+  if (r.cpu_cores < 1.0) r.cpu_cores = 1.0;
+  r.memory_gb = memory_mb_per_conn * static_cast<double>(endpoints) / 1024.0;
+  if (r.memory_gb < 0.125) r.memory_gb = 0.125;
+  r.db_shards = 0;
+  return r;
+}
+
+SyncResources SyncCostModel::bottom_up(std::uint64_t endpoints) const {
+  SyncResources r;
+  // Controller: a single batched write per TE interval — flat cost.
+  r.cpu_cores = 1.0;
+  r.memory_gb = 1.0;
+  // Database: polls spread over the window give endpoints/spread QPS.
+  const double qps =
+      static_cast<double>(endpoints) / spread_interval_s;
+  r.db_shards =
+      static_cast<std::uint64_t>(std::max(1.0, std::ceil(qps / shard_qps)));
+  return r;
+}
+
+}  // namespace megate::ctrl

@@ -1,0 +1,33 @@
+#include "megate/ctrl/telemetry.h"
+
+namespace megate::ctrl {
+
+void TelemetryCollector::ingest(
+    const std::vector<dataplane::InstancePairReport>& report) {
+  for (const dataplane::InstancePairReport& r : report) {
+    volume_[Key{r.src_instance, r.dst_ip}] += r.bytes;
+    total_bytes_ += r.bytes;
+  }
+}
+
+tm::TrafficMatrix TelemetryCollector::finish_period() {
+  tm::TrafficMatrix out;
+  for (const auto& [key, bytes] : volume_) {
+    tm::EndpointDemand d;
+    d.src = key.src;
+    // Recover the destination endpoint from its overlay address.
+    const std::uint32_t dst_site = dataplane::overlay_ip_site(key.dst_ip);
+    const std::uint32_t dst_index = key.dst_ip & 0xFFFFF;
+    d.dst = tm::make_endpoint(dst_site, dst_index);
+    d.demand_gbps =
+        static_cast<double>(bytes) * 8.0 / options_.period_s / 1e9;
+    d.qos = options_.default_qos;
+    if (d.demand_gbps < options_.min_demand_gbps) continue;
+    out.add(d);
+  }
+  volume_.clear();
+  total_bytes_ = 0;
+  return out;
+}
+
+}  // namespace megate::ctrl

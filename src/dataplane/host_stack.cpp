@@ -1,0 +1,242 @@
+#include "megate/dataplane/host_stack.h"
+
+#include <unordered_map>
+
+namespace megate::dataplane {
+
+HostStack::HostStack(HostStackOptions options)
+    : options_(options),
+      env_map_(options.map_entries),
+      contk_map_(options.map_entries),
+      inf_map_(options.map_entries),
+      traffic_map_(options.map_entries),
+      frag_map_(options.map_entries),
+      path_map_(options.map_entries) {}
+
+void HostStack::on_sys_enter_execve(Pid pid, InstanceId instance) {
+  env_map_.update(pid, instance);
+}
+
+void HostStack::on_conntrack_event(const FiveTuple& tuple, Pid pid) {
+  contk_map_.update(tuple, pid);
+  // Join env_map + contk_map -> inf_map (five-tuple -> instance id). The
+  // paper performs this join inside the kprobe program itself.
+  if (auto instance = env_map_.lookup(pid)) {
+    inf_map_.update(tuple, *instance);
+  }
+}
+
+std::optional<FiveTuple> HostStack::classify(const Ipv4Header& ip,
+                                             ConstBytes l4) {
+  if (!ip.is_fragment() || ip.first_fragment()) {
+    // L4 header available (full packet or first fragment).
+    FiveTuple t;
+    t.src_ip = ip.src_ip;
+    t.dst_ip = ip.dst_ip;
+    t.proto = ip.protocol;
+    if (ip.protocol == kProtoUdp || ip.protocol == kProtoTcp) {
+      if (l4.size() < 4) return std::nullopt;
+      t.src_port = read_u16(l4, 0);
+      t.dst_port = read_u16(l4, 2);
+    }
+    if (ip.first_fragment()) {
+      // Remember ipid -> tuple so later fragments can be attributed.
+      frag_map_.update(ip.identification, t);
+    }
+    return t;
+  }
+  // Subsequent fragment: resolve via frag_map; unknown ipid means we
+  // missed the first fragment — unattributable.
+  auto t = frag_map_.lookup(ip.identification);
+  if (t && !ip.more_fragments) {
+    frag_map_.erase(ip.identification);  // last fragment: flow reassembled
+  }
+  return t;
+}
+
+TcVerdict HostStack::tc_egress(ConstBytes frame,
+                               std::uint32_t underlay_dst_ip) {
+  TcVerdict verdict;
+  auto eth = EthernetHeader::parse(frame);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) {
+    verdict.action = TcVerdict::Action::kDropMalformed;
+    return verdict;
+  }
+  ConstBytes ip_bytes = frame.subspan(kEthernetHeaderSize);
+  auto ip = Ipv4Header::parse(ip_bytes);
+  if (!ip) {
+    verdict.action = TcVerdict::Action::kDropMalformed;
+    return verdict;
+  }
+  const ConstBytes l4 = ip_bytes.subspan(kIpv4HeaderSize);
+
+  // --- instance-level flow collection ---
+  auto tuple = classify(*ip, l4);
+  if (tuple) {
+    const std::uint64_t wire_bytes = frame.size();
+    if (!traffic_map_.update_in_place(*tuple, [&](FlowStats& s) {
+          s.bytes += wire_bytes;
+          s.packets += 1;
+        })) {
+      traffic_map_.update(*tuple, FlowStats{wire_bytes, 1});
+    }
+  }
+
+  // --- segment routing insertion ---
+  std::optional<InstanceId> instance;
+  if (tuple) instance = inf_map_.lookup(*tuple);
+  std::optional<std::vector<std::uint32_t>> hops;
+  if (instance) {
+    // Per-destination-site route first, then the wildcard route.
+    hops = path_map_.lookup(
+        RouteKey{*instance, overlay_ip_site(ip->dst_ip)});
+    if (!hops) hops = path_map_.lookup(RouteKey{*instance, kAnyDstSite});
+  }
+
+  if (!hops || hops->empty()) {
+    // No TE decision installed: hand the frame on unmodified (it will be
+    // five-tuple hashed by the WAN edge, i.e. conventional TE).
+    verdict.action = TcVerdict::Action::kPass;
+    verdict.packet.assign(frame.begin(), frame.end());
+    return verdict;
+  }
+
+  // Build outer Ethernet/IPv4/UDP/VXLAN(+SR) encapsulation around the
+  // whole inner frame (Fig. 7a).
+  SrHeader sr;
+  sr.offset = 0;
+  sr.hops = *hops;
+
+  VxlanHeader vxlan;
+  vxlan.vni = options_.vni;
+  vxlan.megate_sr = true;
+
+  Buffer out;
+  out.reserve(kEthernetHeaderSize + kIpv4HeaderSize + kUdpHeaderSize +
+              kVxlanHeaderSize + sr.wire_size() + frame.size());
+
+  EthernetHeader outer_eth;
+  outer_eth.ether_type = kEtherTypeIpv4;
+  outer_eth.serialize(out);
+
+  const std::size_t payload = kUdpHeaderSize + kVxlanHeaderSize +
+                              sr.wire_size() + frame.size();
+  Ipv4Header outer_ip;
+  outer_ip.protocol = kProtoUdp;
+  outer_ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderSize + payload);
+  outer_ip.src_ip = options_.host_ip;
+  outer_ip.dst_ip = underlay_dst_ip;
+  outer_ip.identification = static_cast<std::uint16_t>(ip->identification);
+  outer_ip.serialize(out);
+
+  UdpHeader outer_udp;
+  outer_udp.src_port = options_.underlay_src_port;
+  outer_udp.dst_port = kVxlanPort;
+  outer_udp.length = static_cast<std::uint16_t>(payload);
+  outer_udp.serialize(out);
+
+  vxlan.serialize(out);
+  sr.serialize(out);
+  out.insert(out.end(), frame.begin(), frame.end());
+
+  verdict.action = TcVerdict::Action::kEncapsulated;
+  verdict.packet = std::move(out);
+  return verdict;
+}
+
+HostStack::IngressResult HostStack::vtep_ingress(ConstBytes underlay_frame) {
+  IngressResult res;
+  auto eth = EthernetHeader::parse(underlay_frame);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return res;  // malformed
+  ConstBytes rest = underlay_frame.subspan(kEthernetHeaderSize);
+  auto ip = Ipv4Header::parse(rest);
+  if (!ip) return res;
+  if (ip->protocol != kProtoUdp) {
+    res.action = IngressResult::Action::kNotVxlan;
+    return res;
+  }
+  rest = rest.subspan(kIpv4HeaderSize);
+  auto udp = UdpHeader::parse(rest);
+  if (!udp) return res;
+  if (udp->dst_port != kVxlanPort) {
+    res.action = IngressResult::Action::kNotVxlan;
+    return res;
+  }
+  rest = rest.subspan(kUdpHeaderSize);
+  auto vxlan = VxlanHeader::parse(rest);
+  if (!vxlan) return res;
+  rest = rest.subspan(kVxlanHeaderSize);
+  res.vni = vxlan->vni;
+  if (vxlan->megate_sr) {
+    auto sr = SrHeader::parse(rest);
+    if (!sr) return res;  // flagged but absent/corrupt: drop
+    res.had_sr_header = true;
+    rest = rest.subspan(sr->wire_size());
+  }
+  // What remains is the original instance frame; sanity-check it parses
+  // as Ethernet before handing it to the instance.
+  if (!EthernetHeader::parse(rest)) return res;
+  res.inner.assign(rest.begin(), rest.end());
+  res.action = IngressResult::Action::kDecapsulated;
+  return res;
+}
+
+void HostStack::install_route(InstanceId instance, std::uint32_t dst_site,
+                              std::vector<std::uint32_t> hops) {
+  const RouteKey key{instance, dst_site};
+  if (hops.empty()) {
+    path_map_.erase(key);
+  } else {
+    path_map_.update(key, std::move(hops));
+  }
+}
+
+std::vector<InstancePairReport> HostStack::collect_pair_report(bool reset) {
+  struct Key {
+    InstanceId src;
+    std::uint32_t dst_ip;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.src * 0x9E3779B97F4A7C15ULL ^
+                                        k.dst_ip);
+    }
+  };
+  std::unordered_map<Key, InstancePairReport, KeyHash> agg;
+  for (const auto& [tuple, stats] : traffic_map_) {
+    auto instance = inf_map_.lookup(tuple);
+    if (!instance) continue;  // unattributed flow
+    InstancePairReport& r = agg[Key{*instance, tuple.dst_ip}];
+    r.src_instance = *instance;
+    r.dst_ip = tuple.dst_ip;
+    r.bytes += stats.bytes;
+    r.packets += stats.packets;
+  }
+  std::vector<InstancePairReport> out;
+  out.reserve(agg.size());
+  for (auto& [key, r] : agg) out.push_back(r);
+  if (reset) traffic_map_.clear();
+  return out;
+}
+
+std::vector<InstanceReport> HostStack::collect_flow_report(bool reset) {
+  // User-space agent: join inf_map and traffic_map, aggregate by instance.
+  std::unordered_map<InstanceId, InstanceReport> agg;
+  for (const auto& [tuple, stats] : traffic_map_) {
+    auto instance = inf_map_.lookup(tuple);
+    if (!instance) continue;  // unattributed flow (no conntrack event seen)
+    InstanceReport& r = agg[*instance];
+    r.instance = *instance;
+    r.bytes += stats.bytes;
+    r.packets += stats.packets;
+  }
+  std::vector<InstanceReport> out;
+  out.reserve(agg.size());
+  for (auto& [id, r] : agg) out.push_back(r);
+  if (reset) traffic_map_.clear();
+  return out;
+}
+
+}  // namespace megate::dataplane

@@ -1,0 +1,68 @@
+#pragma once
+// In-process simulation of the eBPF machinery MegaTE uses on end hosts
+// (§5.1). Real deployments attach programs at the execve tracepoint, the
+// conntrack kprobe and the TC hook; here the host stack exposes one method
+// per hook and this header provides the map abstraction those programs
+// share with user space.
+//
+// EbpfMap mirrors BPF_MAP_TYPE_HASH semantics: bounded capacity, update
+// fails when full (BPF's -E2BIG), lookups copy values out, and user-space
+// iteration is supported (bpf_map_get_next_key equivalent).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+namespace megate::dataplane {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class EbpfMap {
+ public:
+  explicit EbpfMap(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Inserts or overwrites. Returns false (and leaves the map unchanged)
+  /// when inserting a new key into a full map.
+  bool update(const Key& key, const Value& value) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = value;
+      return true;
+    }
+    if (entries_.size() >= max_entries_) return false;
+    entries_.emplace(key, value);
+    return true;
+  }
+
+  std::optional<Value> lookup(const Key& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Looks up and applies `fn` to the stored value in place (the common
+  /// kernel-side pattern for counters). Returns false if absent.
+  bool update_in_place(const Key& key, const std::function<void(Value&)>& fn) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
+  bool erase(const Key& key) { return entries_.erase(key) > 0; }
+  void clear() { entries_.clear(); }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return max_entries_; }
+  bool full() const noexcept { return entries_.size() >= max_entries_; }
+
+  /// User-space style iteration.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<Key, Value, Hash> entries_;
+};
+
+}  // namespace megate::dataplane

@@ -1,0 +1,181 @@
+#pragma once
+// The MegaTE end-host networking stack (§5.1-§5.2), simulated in-process.
+//
+// Three "eBPF programs" (methods, one per kernel hook) cooperate through
+// the maps of Fig. 6:
+//   - on_sys_enter_execve:   pid + instance id        -> env_map
+//   - on_conntrack_event:    five-tuple + pid         -> contk_map, and
+//                            env_map JOIN contk_map   -> inf_map
+//   - tc_egress:             per-packet accounting    -> traffic_map
+//                            (fragments via frag_map), then VXLAN
+//                            encapsulation with the SR header from
+//                            path_map when a TE path is installed.
+//
+// The endpoint agent reads inf_map JOIN traffic_map (collect_flow_report)
+// and installs TE decisions into path_map (install_path).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "megate/dataplane/ebpf.h"
+#include "megate/dataplane/packet.h"
+#include "megate/dataplane/sr_header.h"
+#include "megate/dataplane/vxlan.h"
+
+namespace megate::dataplane {
+
+using Pid = std::uint32_t;
+using InstanceId = std::uint64_t;
+
+/// Overlay addressing convention used across the library: the destination
+/// router site lives in the top 12 bits of the overlay IPv4 address, the
+/// endpoint index in the low 20 (4096 sites x ~1M endpoints per site).
+/// The TC program uses this to select the per-destination-site SR route.
+inline constexpr std::uint32_t kOverlaySiteShift = 20;
+constexpr std::uint32_t make_overlay_ip(std::uint32_t site,
+                                        std::uint32_t index) {
+  return (site << kOverlaySiteShift) | (index & 0xFFFFF);
+}
+constexpr std::uint32_t overlay_ip_site(std::uint32_t ip) {
+  return ip >> kOverlaySiteShift;
+}
+
+/// Wildcard destination site: the route applies to every destination.
+inline constexpr std::uint32_t kAnyDstSite = 0xFFFFFFFF;
+
+/// Flow statistics accumulated at the TC hook.
+struct FlowStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// Per-instance report the endpoint agent uploads each TE period.
+struct InstanceReport {
+  InstanceId instance = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// Per-(source instance, destination) flow report — the TE optimizer
+/// needs demands per endpoint *pair*, so the agent also uploads volume
+/// keyed by the destination overlay address (site + endpoint index are
+/// recovered via the overlay IP convention).
+struct InstancePairReport {
+  InstanceId src_instance = 0;
+  std::uint32_t dst_ip = 0;  ///< overlay address of the peer
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// Result of pushing one packet through the TC egress program.
+struct TcVerdict {
+  enum class Action { kPass, kEncapsulated, kDropMalformed };
+  Action action = Action::kPass;
+  Buffer packet;  ///< the (possibly encapsulated) outgoing frame
+};
+
+struct HostStackOptions {
+  std::size_t map_entries = 1 << 16;
+  std::uint32_t host_ip = 0x0A000001;   ///< outer (underlay) source IP
+  std::uint32_t vni = 1;
+  std::uint16_t underlay_src_port = 49152;
+};
+
+class HostStack {
+ public:
+  explicit HostStack(HostStackOptions options = {});
+
+  // --- kernel hooks ----------------------------------------------------
+  /// tracepoint syscalls/sys_enter_execve: a process starts inside an
+  /// instance.
+  void on_sys_enter_execve(Pid pid, InstanceId instance);
+
+  /// kprobe ctnetlink_conntrack_event: a connection is created by `pid`.
+  /// Joins env_map to fill inf_map so the TC program can map packets to
+  /// instances.
+  void on_conntrack_event(const FiveTuple& tuple, Pid pid);
+
+  /// TC egress hook: accounts the (inner) IPv4 packet and, when the
+  /// sending instance has an installed TE path, encapsulates it in
+  /// UDP/VXLAN with the MegaTE SR header appended (Fig. 7).
+  /// `frame` is the instance's Ethernet frame.
+  TcVerdict tc_egress(ConstBytes frame, std::uint32_t underlay_dst_ip);
+
+  /// Result of the receive-side VTEP processing.
+  struct IngressResult {
+    enum class Action {
+      kDecapsulated,  ///< VXLAN stripped; `inner` is the instance frame
+      kNotVxlan,      ///< not addressed to the VXLAN port: left alone
+      kDropMalformed,
+    };
+    Action action = Action::kDropMalformed;
+    Buffer inner;
+    std::uint32_t vni = 0;
+    bool had_sr_header = false;
+  };
+
+  /// VTEP ingress: strips the outer Ethernet/IPv4/UDP/VXLAN (and the
+  /// MegaTE SR header when the VXLAN reserved-field flag is set) from an
+  /// underlay frame arriving at this host and returns the inner instance
+  /// frame — the receive half of §5.2's encapsulation.
+  IngressResult vtep_ingress(ConstBytes underlay_frame);
+
+  // --- endpoint agent interface -----------------------------------------
+  /// Installs the TE decision for one (instance, destination site): the
+  /// hop sequence the SR header will carry for that instance's flows
+  /// towards `dst_site`. An empty vector uninstalls the route.
+  void install_route(InstanceId instance, std::uint32_t dst_site,
+                     std::vector<std::uint32_t> hops);
+
+  /// Wildcard convenience: one route for all of the instance's traffic.
+  void install_path(InstanceId instance, std::vector<std::uint32_t> hops) {
+    install_route(instance, kAnyDstSite, std::move(hops));
+  }
+
+  /// inf_map JOIN traffic_map, aggregated per instance; clears traffic
+  /// counters when `reset` (the per-TE-period collection).
+  std::vector<InstanceReport> collect_flow_report(bool reset = true);
+
+  /// inf_map JOIN traffic_map keyed by (source instance, destination
+  /// overlay IP) — the input the TE optimizer actually needs. Clears
+  /// traffic counters when `reset`.
+  std::vector<InstancePairReport> collect_pair_report(bool reset = true);
+
+  // --- introspection for tests ------------------------------------------
+  std::optional<InstanceId> instance_of(const FiveTuple& t) const {
+    return inf_map_.lookup(t);
+  }
+  std::optional<FlowStats> stats_of(const FiveTuple& t) const {
+    return traffic_map_.lookup(t);
+  }
+  std::size_t frag_map_size() const noexcept { return frag_map_.size(); }
+
+ private:
+  /// Extracts the five-tuple of an inner IPv4 packet, consulting frag_map
+  /// for non-first fragments (which carry no L4 header).
+  std::optional<FiveTuple> classify(const Ipv4Header& ip, ConstBytes l4);
+
+  /// path_map key: (instance, destination site).
+  struct RouteKey {
+    InstanceId instance;
+    std::uint32_t dst_site;
+    bool operator==(const RouteKey&) const = default;
+  };
+  struct RouteKeyHash {
+    std::size_t operator()(const RouteKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.instance * 0x9E3779B97F4A7C15ULL ^
+                                        k.dst_site);
+    }
+  };
+
+  HostStackOptions options_;
+  EbpfMap<Pid, InstanceId> env_map_;
+  EbpfMap<FiveTuple, Pid, FiveTupleHash> contk_map_;
+  EbpfMap<FiveTuple, InstanceId, FiveTupleHash> inf_map_;
+  EbpfMap<FiveTuple, FlowStats, FiveTupleHash> traffic_map_;
+  EbpfMap<std::uint16_t, FiveTuple> frag_map_;  ///< ipid -> five tuple
+  EbpfMap<RouteKey, std::vector<std::uint32_t>, RouteKeyHash> path_map_;
+};
+
+}  // namespace megate::dataplane

@@ -1,0 +1,105 @@
+#pragma once
+// Byte-exact packet header codecs for the MegaTE data plane: Ethernet,
+// IPv4 (with fragmentation fields) and UDP. All multi-byte fields are
+// network byte order on the wire; parsers never read past the buffer and
+// report failures via std::optional rather than exceptions (packets from
+// the wire are untrusted input, not programming errors).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace megate::dataplane {
+
+using Buffer = std::vector<std::uint8_t>;
+using ConstBytes = std::span<const std::uint8_t>;
+
+// --- byte-order helpers -----------------------------------------------
+
+void put_u16(Buffer& b, std::uint16_t v);
+void put_u32(Buffer& b, std::uint32_t v);
+std::uint16_t read_u16(ConstBytes b, std::size_t off);
+std::uint32_t read_u32(ConstBytes b, std::size_t off);
+
+// --- Ethernet -----------------------------------------------------------
+
+inline constexpr std::size_t kEthernetHeaderSize = 14;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+struct EthernetHeader {
+  std::array<std::uint8_t, 6> dst_mac{};
+  std::array<std::uint8_t, 6> src_mac{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void serialize(Buffer& out) const;
+  static std::optional<EthernetHeader> parse(ConstBytes in);
+};
+
+// --- IPv4 ---------------------------------------------------------------
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;  // no options
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint16_t kIpFlagMoreFragments = 0x2000;
+inline constexpr std::uint16_t kIpFragOffsetMask = 0x1FFF;
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;           ///< carries the QoS class marking
+  std::uint16_t total_length = 0;  ///< header + payload bytes
+  std::uint16_t identification = 0;  ///< the paper's `ipid` for fragments
+  bool more_fragments = false;
+  std::uint16_t fragment_offset_8b = 0;  ///< in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+
+  bool is_fragment() const noexcept {
+    return more_fragments || fragment_offset_8b != 0;
+  }
+  bool first_fragment() const noexcept {
+    return more_fragments && fragment_offset_8b == 0;
+  }
+
+  /// Serializes with a correct header checksum.
+  void serialize(Buffer& out) const;
+  /// Parses and verifies the checksum; nullopt on truncation/corruption.
+  static std::optional<Ipv4Header> parse(ConstBytes in);
+};
+
+/// RFC 1071 ones'-complement checksum over `bytes`.
+std::uint16_t internet_checksum(ConstBytes bytes);
+
+// --- UDP ----------------------------------------------------------------
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kUdpHeaderSize;  ///< header + payload
+
+  void serialize(Buffer& out) const;
+  static std::optional<UdpHeader> parse(ConstBytes in);
+};
+
+// --- five tuple -----------------------------------------------------------
+
+/// The flow key used throughout §5.1's eBPF maps.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint8_t proto = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+}  // namespace megate::dataplane

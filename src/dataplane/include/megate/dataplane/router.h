@@ -1,0 +1,52 @@
+#pragma once
+// WAN router-site behaviour (§5.2 "Router implementation"):
+// profiles each packet's VXLAN header; a packet carrying the MegaTE SR
+// flag is forwarded along the embedded hop list (offset advanced in
+// place), anything else falls back to conventional five-tuple ECMP
+// hashing across the router's TE tunnels.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "megate/dataplane/packet.h"
+#include "megate/dataplane/sr_header.h"
+#include "megate/dataplane/vxlan.h"
+
+namespace megate::dataplane {
+
+struct ForwardDecision {
+  enum class Kind {
+    kSegmentRouted,  ///< next_hop taken from the SR header
+    kEcmpHashed,     ///< five-tuple hash over `ecmp_group_size`
+    kDeliverLocal,   ///< SR list exhausted: this site is the destination
+    kDrop,           ///< malformed packet
+  };
+  Kind kind = Kind::kDrop;
+  std::uint32_t next_hop = 0;   ///< site id (SR) or ECMP bucket index
+  Buffer packet;                ///< rewritten packet (offset advanced)
+};
+
+class Router {
+ public:
+  /// `site_id`: this router's site; `ecmp_group_size`: number of TE
+  /// tunnels conventional traffic is hashed across.
+  Router(std::uint32_t site_id, std::uint32_t ecmp_group_size)
+      : site_id_(site_id), ecmp_group_size_(ecmp_group_size) {}
+
+  std::uint32_t site_id() const noexcept { return site_id_; }
+
+  /// Processes one underlay frame (Ethernet/IPv4/UDP/VXLAN[...]).
+  ForwardDecision forward(ConstBytes frame) const;
+
+  /// The ECMP hash used for non-SR traffic; exposed so the Fig. 2 bench
+  /// can demonstrate hash-induced path instability.
+  static std::uint32_t ecmp_hash(const FiveTuple& tuple,
+                                 std::uint32_t buckets);
+
+ private:
+  std::uint32_t site_id_;
+  std::uint32_t ecmp_group_size_;
+};
+
+}  // namespace megate::dataplane

@@ -1,0 +1,27 @@
+#pragma once
+// VXLAN header (RFC 7348) with the MegaTE extension of §5.2: one flag bit
+// in the first reserved field signals that a MegaTE SR header immediately
+// follows the VXLAN header (Fig. 7a).
+
+#include <cstdint>
+#include <optional>
+
+#include "megate/dataplane/packet.h"
+
+namespace megate::dataplane {
+
+inline constexpr std::size_t kVxlanHeaderSize = 8;
+inline constexpr std::uint16_t kVxlanPort = 4789;
+/// Bit in reserved1 signalling "MegaTE SR header present".
+inline constexpr std::uint32_t kMegaTeSrFlag = 0x800000;
+
+struct VxlanHeader {
+  std::uint32_t vni = 0;      ///< 24-bit virtual network identifier
+  bool valid_vni = true;      ///< the I flag
+  bool megate_sr = false;     ///< MegaTE flag in the reserved field
+
+  void serialize(Buffer& out) const;
+  static std::optional<VxlanHeader> parse(ConstBytes in);
+};
+
+}  // namespace megate::dataplane

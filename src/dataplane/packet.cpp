@@ -1,0 +1,143 @@
+#include "megate/dataplane/packet.h"
+
+#include <algorithm>
+
+namespace megate::dataplane {
+
+void put_u16(Buffer& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(Buffer& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t read_u16(ConstBytes b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t read_u32(ConstBytes b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+// --- Ethernet -----------------------------------------------------------
+
+void EthernetHeader::serialize(Buffer& out) const {
+  out.insert(out.end(), dst_mac.begin(), dst_mac.end());
+  out.insert(out.end(), src_mac.begin(), src_mac.end());
+  put_u16(out, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ConstBytes in) {
+  if (in.size() < kEthernetHeaderSize) return std::nullopt;
+  EthernetHeader h;
+  std::copy_n(in.begin(), 6, h.dst_mac.begin());
+  std::copy_n(in.begin() + 6, 6, h.src_mac.begin());
+  h.ether_type = read_u16(in, 12);
+  return h;
+}
+
+// --- IPv4 ---------------------------------------------------------------
+
+std::uint16_t internet_checksum(ConstBytes bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::serialize(Buffer& out) const {
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>(dscp << 2));
+  put_u16(out, total_length);
+  put_u16(out, identification);
+  std::uint16_t flags_frag = fragment_offset_8b & kIpFragOffsetMask;
+  if (more_fragments) flags_frag |= kIpFlagMoreFragments;
+  put_u16(out, flags_frag);
+  out.push_back(ttl);
+  out.push_back(protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src_ip);
+  put_u32(out, dst_ip);
+  const std::uint16_t csum = internet_checksum(
+      ConstBytes(out.data() + start, kIpv4HeaderSize));
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ConstBytes in) {
+  if (in.size() < kIpv4HeaderSize) return std::nullopt;
+  if ((in[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (in[0] & 0x0F) * 4u;
+  if (ihl != kIpv4HeaderSize || in.size() < ihl) {
+    return std::nullopt;  // options unsupported in this stack
+  }
+  if (internet_checksum(in.first(kIpv4HeaderSize)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(in[1] >> 2);
+  h.total_length = read_u16(in, 2);
+  h.identification = read_u16(in, 4);
+  const std::uint16_t flags_frag = read_u16(in, 6);
+  h.more_fragments = (flags_frag & kIpFlagMoreFragments) != 0;
+  h.fragment_offset_8b = flags_frag & kIpFragOffsetMask;
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.src_ip = read_u32(in, 12);
+  h.dst_ip = read_u32(in, 16);
+  if (h.total_length < kIpv4HeaderSize || h.total_length > in.size()) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+// --- UDP ----------------------------------------------------------------
+
+void UdpHeader::serialize(Buffer& out) const {
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u16(out, length);
+  put_u16(out, 0);  // checksum optional over IPv4
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ConstBytes in) {
+  if (in.size() < kUdpHeaderSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = read_u16(in, 0);
+  h.dst_port = read_u16(in, 2);
+  h.length = read_u16(in, 4);
+  if (h.length < kUdpHeaderSize) return std::nullopt;
+  return h;
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(t.src_ip);
+  mix(t.dst_ip);
+  mix(t.proto);
+  mix((static_cast<std::uint64_t>(t.src_port) << 16) | t.dst_port);
+  // Finalize with a strong avalanche (splitmix64 tail) so low bits are
+  // usable for small ECMP group sizes — FNV alone leaves the low bits
+  // correlated with the inputs.
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace megate::dataplane

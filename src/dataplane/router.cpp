@@ -1,0 +1,71 @@
+#include "megate/dataplane/router.h"
+
+namespace megate::dataplane {
+
+std::uint32_t Router::ecmp_hash(const FiveTuple& tuple,
+                                std::uint32_t buckets) {
+  if (buckets == 0) return 0;
+  // Deliberately the same style of hash a merchant-silicon pipeline uses:
+  // stable per five-tuple but oblivious to instance identity or QoS.
+  const std::size_t h = FiveTupleHash{}(tuple);
+  return static_cast<std::uint32_t>(h % buckets);
+}
+
+ForwardDecision Router::forward(ConstBytes frame) const {
+  ForwardDecision d;
+  auto eth = EthernetHeader::parse(frame);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return d;  // kDrop
+  const ConstBytes ip_bytes = frame.subspan(kEthernetHeaderSize);
+  auto ip = Ipv4Header::parse(ip_bytes);
+  if (!ip) return d;
+
+  if (ip->protocol != kProtoUdp) return d;
+  const ConstBytes udp_bytes = ip_bytes.subspan(kIpv4HeaderSize);
+  auto udp = UdpHeader::parse(udp_bytes);
+  if (!udp) return d;
+
+  if (udp->dst_port == kVxlanPort) {
+    const ConstBytes vxlan_bytes = udp_bytes.subspan(kUdpHeaderSize);
+    auto vxlan = VxlanHeader::parse(vxlan_bytes);
+    if (!vxlan) return d;
+    if (vxlan->megate_sr) {
+      const ConstBytes sr_bytes = vxlan_bytes.subspan(kVxlanHeaderSize);
+      auto sr = SrHeader::parse(sr_bytes);
+      if (!sr) return d;
+      d.packet.assign(frame.begin(), frame.end());
+      // When the current segment is this site, the segment is reached:
+      // advance the offset in place. The offset byte sits at
+      // eth + ip + udp + vxlan + 1.
+      std::uint8_t offset = sr->offset;
+      if (offset < sr->hops.size() && sr->hops[offset] == site_id_) {
+        ++offset;
+        const std::size_t off_pos = kEthernetHeaderSize + kIpv4HeaderSize +
+                                    kUdpHeaderSize + kVxlanHeaderSize + 1;
+        d.packet[off_pos] = offset;
+      }
+      if (offset >= sr->hops.size()) {
+        // Segment list exhausted: this site is the egress.
+        d.kind = ForwardDecision::Kind::kDeliverLocal;
+        d.next_hop = site_id_;
+      } else {
+        d.kind = ForwardDecision::Kind::kSegmentRouted;
+        d.next_hop = sr->hops[offset];
+      }
+      return d;
+    }
+  }
+
+  // Conventional path: five-tuple ECMP on the *outer* header.
+  FiveTuple tuple;
+  tuple.src_ip = ip->src_ip;
+  tuple.dst_ip = ip->dst_ip;
+  tuple.proto = ip->protocol;
+  tuple.src_port = udp->src_port;
+  tuple.dst_port = udp->dst_port;
+  d.kind = ForwardDecision::Kind::kEcmpHashed;
+  d.next_hop = ecmp_hash(tuple, ecmp_group_size_);
+  d.packet.assign(frame.begin(), frame.end());
+  return d;
+}
+
+}  // namespace megate::dataplane

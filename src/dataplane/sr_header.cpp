@@ -1,0 +1,29 @@
+#include "megate/dataplane/sr_header.h"
+
+namespace megate::dataplane {
+
+void SrHeader::serialize(Buffer& out) const {
+  out.push_back(static_cast<std::uint8_t>(hops.size()));
+  out.push_back(offset);
+  put_u16(out, 0);  // reserved
+  for (std::uint32_t hop : hops) put_u32(out, hop);
+}
+
+std::optional<SrHeader> SrHeader::parse(ConstBytes in) {
+  if (in.size() < kSrFixedSize) return std::nullopt;
+  const std::uint8_t hop_number = in[0];
+  const std::uint8_t offset = in[1];
+  if (hop_number == 0 || hop_number > kSrMaxHops) return std::nullopt;
+  if (offset > hop_number) return std::nullopt;
+  const std::size_t need = kSrFixedSize + hop_number * std::size_t{4};
+  if (in.size() < need) return std::nullopt;
+  SrHeader h;
+  h.offset = offset;
+  h.hops.reserve(hop_number);
+  for (std::size_t i = 0; i < hop_number; ++i) {
+    h.hops.push_back(read_u32(in, kSrFixedSize + i * 4));
+  }
+  return h;
+}
+
+}  // namespace megate::dataplane

@@ -1,0 +1,25 @@
+#include "megate/dataplane/vxlan.h"
+
+namespace megate::dataplane {
+
+void VxlanHeader::serialize(Buffer& out) const {
+  // Byte 0: flags (bit 3 = valid VNI). Bytes 1-3: reserved1, where MegaTE
+  // plants its SR-present flag. Bytes 4-6: VNI. Byte 7: reserved2.
+  std::uint32_t word0 = valid_vni ? 0x08000000u : 0u;
+  if (megate_sr) word0 |= kMegaTeSrFlag;
+  put_u32(out, word0);
+  put_u32(out, (vni & 0xFFFFFF) << 8);
+}
+
+std::optional<VxlanHeader> VxlanHeader::parse(ConstBytes in) {
+  if (in.size() < kVxlanHeaderSize) return std::nullopt;
+  const std::uint32_t word0 = read_u32(in, 0);
+  const std::uint32_t word1 = read_u32(in, 4);
+  VxlanHeader h;
+  h.valid_vni = (word0 & 0x08000000u) != 0;
+  h.megate_sr = (word0 & kMegaTeSrFlag) != 0;
+  h.vni = (word1 >> 8) & 0xFFFFFF;
+  return h;
+}
+
+}  // namespace megate::dataplane

@@ -1,0 +1,81 @@
+#pragma once
+// Linear-program model shared by the exact simplex solver and the
+// approximate packing solver.
+//
+// All LPs that MegaTE needs (MaxSiteFlow Eq. 2, the LP-all baseline, the
+// NCFlow cluster subproblems) are *packing* LPs:
+//
+//     max  c' x     s.t.  A x <= b,  x >= 0,   with A >= 0, b >= 0.
+//
+// The model stores A column-wise (each variable's constraint memberships)
+// because both solvers and the TE layer iterate per tunnel variable.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace megate::lp {
+
+/// One nonzero of a column: `coef` in row `row`.
+struct Entry {
+  std::size_t row;
+  double coef;
+};
+
+/// Result status of an LP solve.
+enum class Status {
+  kOptimal,       ///< proven optimal (simplex) or within epsilon (packing)
+  kUnbounded,     ///< objective unbounded above
+  kIterLimit,     ///< iteration limit hit; solution is best found so far
+  kInvalidModel,  ///< model violates a solver precondition
+};
+
+const char* to_string(Status s) noexcept;
+
+/// Primal solution of `solve`.
+struct Solution {
+  Status status = Status::kInvalidModel;
+  double objective = 0.0;
+  std::vector<double> x;        ///< one value per variable
+  std::size_t iterations = 0;   ///< pivots (simplex) / routings (packing)
+};
+
+/// Column-wise packing-LP builder.
+class Model {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its index.
+  std::size_t add_variable(double obj_coef);
+
+  /// Adds an empty `<= rhs` constraint; returns its row index.
+  /// rhs must be >= 0 (capacities and demands are non-negative).
+  std::size_t add_constraint(double rhs);
+
+  /// Sets A[row, var] += coef. coef must be > 0 (packing structure);
+  /// duplicate (row, var) entries accumulate.
+  void add_coefficient(std::size_t row, std::size_t var, double coef);
+
+  std::size_t num_variables() const noexcept { return obj_.size(); }
+  std::size_t num_constraints() const noexcept { return rhs_.size(); }
+  std::size_t num_nonzeros() const noexcept;
+
+  double objective_coef(std::size_t var) const { return obj_[var]; }
+  double rhs(std::size_t row) const { return rhs_[row]; }
+  const std::vector<Entry>& column(std::size_t var) const {
+    return cols_[var];
+  }
+  const std::vector<double>& rhs_vector() const noexcept { return rhs_; }
+
+  /// Objective value c'x for an arbitrary assignment.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Largest constraint violation max_i (A x - b)_i, clamped at 0;
+  /// used by tests and the packing solver's final feasibility clamp.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> obj_;
+  std::vector<double> rhs_;
+  std::vector<std::vector<Entry>> cols_;
+};
+
+}  // namespace megate::lp

@@ -1,0 +1,44 @@
+#pragma once
+// Approximate solver for large packing LPs.
+//
+// Implements the Garg–Könemann multiplicative-weights scheme with
+// Fleischer's round-robin phase optimization, generalized to arbitrary
+// packing columns with positive profits:
+//
+//     max c'x   s.t.  Ax <= b, x >= 0,  A >= 0, b >= 0, c > 0.
+//
+// Guarantees a (1 - 3*epsilon)-approximation and — after the final
+// feasibility clamp — an exactly feasible solution. This is what lets
+// MegaTE's MaxSiteFlow run on hyper-scale instances where a dense exact
+// solver would exhaust memory (the paper uses Gurobi on a 24-thread Xeon;
+// see DESIGN.md for the substitution argument).
+
+#include <cstddef>
+
+#include "megate/lp/model.h"
+
+namespace megate::lp {
+
+struct PackingOptions {
+  /// Approximation parameter; the solution is >= (1-3*epsilon) * OPT.
+  double epsilon = 0.1;
+  /// Safety cap on total routing steps; 0 -> automatic from theory bound.
+  std::size_t max_steps = 0;
+};
+
+class PackingSolver {
+ public:
+  explicit PackingSolver(PackingOptions options = {}) : options_(options) {}
+
+  Solution solve(const Model& model) const;
+
+  /// Upper bound on OPT derived from the final dual lengths; valid for any
+  /// run that returned kOptimal. Exposed for the LP ablation bench.
+  double last_dual_bound() const noexcept { return last_dual_bound_; }
+
+ private:
+  PackingOptions options_;
+  mutable double last_dual_bound_ = 0.0;
+};
+
+}  // namespace megate::lp

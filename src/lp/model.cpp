@@ -1,0 +1,76 @@
+#include "megate/lp/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace megate::lp {
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterLimit: return "iteration-limit";
+    case Status::kInvalidModel: return "invalid-model";
+  }
+  return "?";
+}
+
+std::size_t Model::add_variable(double obj_coef) {
+  obj_.push_back(obj_coef);
+  cols_.emplace_back();
+  return obj_.size() - 1;
+}
+
+std::size_t Model::add_constraint(double rhs) {
+  if (rhs < 0.0) throw std::invalid_argument("lp::Model: rhs must be >= 0");
+  rhs_.push_back(rhs);
+  return rhs_.size() - 1;
+}
+
+void Model::add_coefficient(std::size_t row, std::size_t var, double coef) {
+  if (row >= rhs_.size() || var >= obj_.size()) {
+    throw std::out_of_range("lp::Model: row/var out of range");
+  }
+  if (coef <= 0.0) {
+    throw std::invalid_argument("lp::Model: coefficients must be > 0");
+  }
+  auto& col = cols_[var];
+  // Accumulate into an existing entry if the caller adds the same (row,var)
+  // twice (e.g. a tunnel traversing the same link in both directions).
+  auto it = std::find_if(col.begin(), col.end(),
+                         [row](const Entry& e) { return e.row == row; });
+  if (it != col.end()) {
+    it->coef += coef;
+  } else {
+    col.push_back(Entry{row, coef});
+  }
+}
+
+std::size_t Model::num_nonzeros() const noexcept {
+  std::size_t nnz = 0;
+  for (const auto& c : cols_) nnz += c.size();
+  return nnz;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  const std::size_t n = std::min(x.size(), obj_.size());
+  for (std::size_t j = 0; j < n; ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  std::vector<double> usage(rhs_.size(), 0.0);
+  const std::size_t n = std::min(x.size(), cols_.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j] == 0.0) continue;
+    for (const Entry& e : cols_[j]) usage[e.row] += e.coef * x[j];
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rhs_.size(); ++i) {
+    worst = std::max(worst, usage[i] - rhs_[i]);
+  }
+  return worst;
+}
+
+}  // namespace megate::lp

@@ -1,0 +1,36 @@
+#pragma once
+// Subset-sum solvers underlying MaxEndpointFlow (§4.2, Appendix A.2).
+//
+// Given endpoint-flow demands {d_i} and a tunnel's bandwidth allocation F,
+// MaxEndpointFlow selects a subset whose total is as close as possible to F
+// without exceeding it. This header provides the two reference algorithms
+// (exact pseudo-polynomial DP and the sorted greedy heuristic); FastSSP —
+// the paper's contribution — composes them and lives in fast_ssp.h.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace megate::ssp {
+
+/// Outcome of a subset-sum solve over an item list.
+struct Selection {
+  std::vector<std::size_t> indices;  ///< selected item positions, ascending
+  double total = 0.0;                ///< sum of selected values
+};
+
+/// Exact dynamic program (Bellman 1957). Items are quantized to integer
+/// multiples of `resolution` (floor), which keeps the result feasible:
+/// floor-quantized sums underestimate true sums by < n*resolution, so the
+/// selection is re-checked against F and greedily trimmed if rounding ever
+/// overshoots. Complexity O(n * F/resolution) time, O(F/resolution) space.
+///
+/// Preconditions: capacity >= 0, resolution > 0, values >= 0.
+Selection solve_dp(std::span<const double> values, double capacity,
+                   double resolution);
+
+/// Sorted-based greedy: descending by value, take whatever fits.
+/// O(n log n). Used for FastSSP's residual pass (Appendix A.2 step 4).
+Selection solve_greedy(std::span<const double> values, double capacity);
+
+}  // namespace megate::ssp

@@ -1,0 +1,109 @@
+#include "megate/ssp/subset_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace megate::ssp {
+
+Selection solve_dp(std::span<const double> values, double capacity,
+                   double resolution) {
+  if (capacity < 0.0) throw std::invalid_argument("capacity must be >= 0");
+  if (!(resolution > 0.0)) {
+    throw std::invalid_argument("resolution must be > 0");
+  }
+  Selection sel;
+  if (values.empty() || capacity == 0.0) return sel;
+
+  // Memory guard: the reachability arrays are O(capacity/resolution).
+  // Checked in floating point *before* the integer cast, which would
+  // overflow (UB) for huge ratios.
+  constexpr std::uint64_t kMaxUnits = 1ull << 28;  // ~256M states
+  const double units = std::floor(capacity / resolution);
+  if (units > static_cast<double>(kMaxUnits)) {
+    throw std::invalid_argument(
+        "solve_dp: capacity/resolution too large; use FastSSP");
+  }
+  const auto cap_units = static_cast<std::uint64_t>(units);
+  if (cap_units == 0) return sel;
+
+  // reached_by[c] = index of the item whose inclusion first reached sum c
+  // (or npos). prev_sum[c] = the sum before that inclusion. This gives
+  // O(C) reconstruction without per-item bitsets.
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  const auto c_size = static_cast<std::size_t>(cap_units) + 1;
+  std::vector<std::uint32_t> reached_by(c_size, kNone);
+  std::vector<std::uint32_t> prev_sum(c_size, 0);
+  std::vector<char> reachable(c_size, 0);
+  reachable[0] = 1;
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0) throw std::invalid_argument("values must be >= 0");
+    const auto w =
+        static_cast<std::uint64_t>(std::floor(values[i] / resolution));
+    if (w == 0 || w > cap_units) continue;
+    // Descend so each item is used at most once (0/1 subset sum).
+    for (std::uint64_t c = cap_units; c >= w; --c) {
+      if (!reachable[c] && reachable[c - w]) {
+        reachable[c] = 1;
+        reached_by[c] = static_cast<std::uint32_t>(i);
+        prev_sum[c] = static_cast<std::uint32_t>(c - w);
+      }
+      if (c == w) break;  // avoid uint underflow
+    }
+  }
+
+  std::uint64_t best = cap_units;
+  while (best > 0 && !reachable[best]) --best;
+
+  // Reconstruct. Quantization used floors, so the *real* total can exceed
+  // the quantized one; collect first, then trim if the real sum overshoots.
+  std::vector<std::size_t> picked;
+  for (std::uint64_t c = best; c > 0;) {
+    const std::uint32_t item = reached_by[c];
+    picked.push_back(item);
+    c = prev_sum[c];
+  }
+  std::sort(picked.begin(), picked.end());
+
+  double total = 0.0;
+  for (std::size_t i : picked) total += values[i];
+  // Floor-quantization of item weights means quantized sums *underestimate*
+  // real sums; trim smallest-first until feasible (rare, tiny adjustments).
+  while (total > capacity && !picked.empty()) {
+    auto smallest = std::min_element(
+        picked.begin(), picked.end(),
+        [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    total -= values[*smallest];
+    picked.erase(smallest);
+  }
+  sel.indices = std::move(picked);
+  sel.total = total;
+  return sel;
+}
+
+Selection solve_greedy(std::span<const double> values, double capacity) {
+  Selection sel;
+  if (values.empty() || capacity <= 0.0) return sel;
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+  double remaining = capacity;
+  for (std::size_t i : order) {
+    if (values[i] < 0.0) throw std::invalid_argument("values must be >= 0");
+    if (values[i] <= remaining) {
+      sel.indices.push_back(i);
+      sel.total += values[i];
+      remaining -= values[i];
+    }
+  }
+  std::sort(sel.indices.begin(), sel.indices.end());
+  return sel;
+}
+
+}  // namespace megate::ssp

@@ -1,0 +1,112 @@
+#include "megate/te/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace megate::te {
+
+std::vector<double> link_usage_gbps(const TeProblem& problem,
+                                    const TeSolution& sol) {
+  std::vector<double> usage(problem.graph->num_links(), 0.0);
+  for (const auto& [pair, alloc] : sol.pairs) {
+    const auto& tunnels = problem.tunnels->tunnels(pair.src, pair.dst);
+    if (!alloc.flow_tunnel.empty()) {
+      auto it = problem.traffic->pairs().find(pair);
+      if (it == problem.traffic->pairs().end()) continue;
+      const auto& flows = it->second;
+      for (std::size_t i = 0;
+           i < flows.size() && i < alloc.flow_tunnel.size(); ++i) {
+        const std::int32_t t = alloc.flow_tunnel[i];
+        if (t < 0 || static_cast<std::size_t>(t) >= tunnels.size()) continue;
+        for (topo::EdgeId e : tunnels[t].links) {
+          usage[e] += flows[i].demand_gbps;
+        }
+      }
+    } else {
+      for (std::size_t t = 0;
+           t < alloc.tunnel_alloc.size() && t < tunnels.size(); ++t) {
+        for (topo::EdgeId e : tunnels[t].links) {
+          usage[e] += alloc.tunnel_alloc[t];
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+CheckResult check_solution(const TeProblem& problem, const TeSolution& sol,
+                           const CheckOptions& options) {
+  CheckResult res;
+  auto violation = [&res](const std::string& msg) {
+    res.ok = false;
+    if (res.violations.size() < 32) res.violations.push_back(msg);
+  };
+
+  // --- constraint (1a): no link overloaded ---
+  const std::vector<double> usage = link_usage_gbps(problem, sol);
+  for (topo::EdgeId e = 0; e < usage.size(); ++e) {
+    const topo::Link& l = problem.graph->link(e);
+    const double cap = l.up ? l.capacity_gbps : 0.0;
+    if (cap > 0.0) {
+      res.max_link_utilization =
+          std::max(res.max_link_utilization, usage[e] / cap);
+    }
+    if (usage[e] > cap * (1.0 + options.capacity_tolerance) + 1e-9) {
+      std::ostringstream os;
+      os << "link " << e << " (" << problem.graph->node_name(l.src) << "->"
+         << problem.graph->node_name(l.dst) << ") overloaded: " << usage[e]
+         << " > " << cap << " Gbps";
+      violation(os.str());
+    }
+  }
+
+  // --- constraints (1b)/(1c) + consistency per pair ---
+  for (const auto& [pair, alloc] : sol.pairs) {
+    const auto& tunnels = problem.tunnels->tunnels(pair.src, pair.dst);
+    auto it = problem.traffic->pairs().find(pair);
+    const auto* flows =
+        it != problem.traffic->pairs().end() ? &it->second : nullptr;
+
+    if (alloc.tunnel_alloc.size() > tunnels.size()) {
+      violation("pair has more tunnel allocations than tunnels");
+    }
+    for (std::size_t t = 0; t < alloc.tunnel_alloc.size(); ++t) {
+      if (alloc.tunnel_alloc[t] < -1e-9) {
+        violation("negative tunnel allocation");
+      }
+      if (t < tunnels.size() && alloc.tunnel_alloc[t] > 1e-9 &&
+          !tunnels[t].alive(*problem.graph)) {
+        violation("allocation on a tunnel with failed links");
+      }
+    }
+    if (options.require_flow_assignment && flows != nullptr &&
+        alloc.flow_tunnel.size() != flows->size()) {
+      violation("missing per-flow tunnel assignment");
+    }
+    if (!alloc.flow_tunnel.empty() && flows != nullptr) {
+      if (alloc.flow_tunnel.size() != flows->size()) {
+        violation("flow assignment vector size mismatch");
+      }
+      for (std::size_t i = 0;
+           i < std::min(alloc.flow_tunnel.size(), flows->size()); ++i) {
+        const std::int32_t t = alloc.flow_tunnel[i];
+        // (1b): at most one tunnel — encoded by the single index; (1c):
+        // the index must reference a real, alive tunnel.
+        if (t < -1 || t >= static_cast<std::int32_t>(tunnels.size())) {
+          violation("flow assigned to nonexistent tunnel");
+        } else if (t >= 0 && !tunnels[t].alive(*problem.graph)) {
+          violation("flow assigned to a tunnel with failed links");
+        }
+      }
+    }
+  }
+
+  // --- aggregate demand sanity: satisfied <= total ---
+  if (sol.satisfied_gbps >
+      sol.total_demand_gbps * (1.0 + options.capacity_tolerance) + 1e-9) {
+    violation("satisfied demand exceeds total demand");
+  }
+  return res;
+}
+
+}  // namespace megate::te

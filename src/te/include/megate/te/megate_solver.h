@@ -1,0 +1,65 @@
+#pragma once
+// The MegaTE two-stage optimization (paper Algorithm 1 + §4.1's QoS
+// sequencing):
+//
+//   for each QoS class q = 1..3 (highest priority first):
+//     D_k   = SiteMerge({d_k^i : qos = q})
+//     F_k,t = MaxSiteFlow(D_k, residual capacities)        [stage 1: LP]
+//     for each site pair k (in parallel):
+//       walk tunnels in ascending weight w_t and run
+//       FastSSP(F_k,t, unassigned demands)                 [stage 2: SSP]
+//     residual capacities -= assigned traffic
+//
+// Endpoint flows are indivisible: every flow ends on exactly one tunnel or
+// is rejected, satisfying constraints (1b)/(1c) by construction.
+
+#include <cstddef>
+
+#include "megate/ssp/fast_ssp.h"
+#include "megate/te/site_lp.h"
+#include "megate/te/types.h"
+
+namespace megate::te {
+
+struct MegaTeOptions {
+  SiteLpOptions site_lp;
+  ssp::FastSspOptions fast_ssp;
+  /// Worker threads for the per-pair stage-2 solves (0 = hardware).
+  std::size_t threads = 0;
+  /// > 1: solve stage 1 with the cluster-contracted MaxSiteFlow (§8
+  /// "Accelerating MaxSiteFlow solving") using this many site clusters;
+  /// 0/1: the plain joint LP. Ablation: bench/ablation_stage1.
+  std::size_t stage1_clusters = 0;
+  /// Assign QoS classes sequentially on residual capacity (paper §4.1).
+  /// Disabled, all classes are solved in one joint pass — used by the
+  /// ablation bench to show why sequencing matters for class-1 latency.
+  bool qos_sequencing = true;
+  /// Residual repair: after FastSSP, walk the round's still-unassigned
+  /// flows (largest first) and place each on its best tunnel whose links
+  /// all retain enough residual capacity. The paper's instances have
+  /// thousands of flows per site pair, where the fractional F_{k,t} split
+  /// is always packable; at low flows-per-pair an indivisible flow can
+  /// straddle the split and be dropped — this pass recovers it without
+  /// ever violating a link capacity. See DESIGN.md §5.
+  bool residual_repair = true;
+};
+
+class MegaTeSolver final : public Solver {
+ public:
+  explicit MegaTeSolver(MegaTeOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "MegaTE"; }
+  TeSolution solve(const TeProblem& problem) override;
+
+  /// Wall-clock split of the last solve, for the Fig. 9 discussion.
+  double last_stage1_seconds() const noexcept { return stage1_s_; }
+  double last_stage2_seconds() const noexcept { return stage2_s_; }
+
+ private:
+  MegaTeOptions options_;
+  double stage1_s_ = 0.0;
+  double stage2_s_ = 0.0;
+};
+
+}  // namespace megate::te

@@ -1,0 +1,70 @@
+#pragma once
+// MaxSiteFlow (paper Eq. 2): the first-layer LP of the MegaTE contraction.
+//
+//   max  sum_{k,t} F_{k,t} - epsilon * sum_{k,t} w_t F_{k,t}
+//   s.t. sum_t F_{k,t} <= D_k            (site-pair demand)
+//        sum_{k,t} F_{k,t} L(t,e) <= c_e (link capacity)
+//        F_{k,t} >= 0
+//
+// Solved either exactly (dense simplex; small instances, tests) or by the
+// approximate packing solver (hyper-scale). kAuto picks by tableau size.
+
+#include <unordered_map>
+#include <vector>
+
+#include "megate/lp/model.h"
+#include "megate/topo/graph.h"
+#include "megate/topo/tunnels.h"
+
+namespace megate::te {
+
+struct SiteLpOptions {
+  enum class Backend { kAuto, kSimplex, kPacking };
+  Backend backend = Backend::kAuto;
+  /// Approximation parameter for the packing backend.
+  double packing_epsilon = 0.07;
+  /// kAuto picks the simplex while (rows+1)*(rows+vars+1) stays below this.
+  std::size_t max_simplex_cells = 4'000'000;
+};
+
+struct SiteLpResult {
+  /// F_{k,t} per site pair, aligned with tunnels(k)'s order. Pairs with no
+  /// demand or no alive tunnel are absent.
+  std::unordered_map<topo::SitePair, std::vector<double>, topo::SitePairHash>
+      alloc;
+  double objective = 0.0;
+  lp::Status status = lp::Status::kInvalidModel;
+  std::size_t iterations = 0;
+  std::size_t num_variables = 0;
+  std::size_t num_constraints = 0;
+  bool used_simplex = false;
+};
+
+/// Solves MaxSiteFlow for the given site-level demands D_k.
+/// `capacity_override`, when non-empty, replaces each link's capacity
+/// (used by the QoS-sequenced solve on residual capacity); entries must be
+/// >= 0 and the vector must have one entry per link.
+SiteLpResult solve_max_site_flow(
+    const topo::Graph& g, const topo::TunnelSet& tunnels,
+    const std::unordered_map<topo::SitePair, double, topo::SitePairHash>&
+        site_demands,
+    const std::vector<double>& capacity_override, double epsilon,
+    const SiteLpOptions& options = {});
+
+/// §8 extension ("Accelerating MaxSiteFlow solving"): NCFlow-style
+/// contraction applied to the *first stage only*. Sites are grouped into
+/// `clusters` clusters; site pairs are bucketed by their cluster pair;
+/// each link's capacity is statically partitioned across buckets in
+/// proportion to estimated usage; the resulting independent sub-LPs are
+/// solved in parallel (`threads`, 0 = hardware) and merged. Trades a few
+/// percent of LP objective for a near-linear latency cut on topologies
+/// with many sites — quantified by bench/ablation_stage1.
+SiteLpResult solve_max_site_flow_clustered(
+    const topo::Graph& g, const topo::TunnelSet& tunnels,
+    const std::unordered_map<topo::SitePair, double, topo::SitePairHash>&
+        site_demands,
+    const std::vector<double>& capacity_override, double epsilon,
+    std::size_t clusters, const SiteLpOptions& options = {},
+    std::size_t threads = 0);
+
+}  // namespace megate::te

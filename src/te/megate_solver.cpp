@@ -1,0 +1,220 @@
+#include "megate/te/megate_solver.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+#include "megate/util/stopwatch.h"
+#include "megate/util/thread_pool.h"
+
+namespace megate::te {
+namespace {
+
+/// Flows of one pair and QoS class, by index into the pair's flow vector.
+struct ClassView {
+  std::vector<std::size_t> flow_ids;
+  std::vector<double> demands;
+};
+
+ClassView class_view(const std::vector<tm::EndpointDemand>& flows,
+                     tm::QosClass q, bool filter) {
+  ClassView view;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!filter || flows[i].qos == q) {
+      view.flow_ids.push_back(i);
+      view.demands.push_back(flows[i].demand_gbps);
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+TeSolution MegaTeSolver::solve(const TeProblem& problem) {
+  if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
+  const topo::Graph& g = *problem.graph;
+  const topo::TunnelSet& tunnels = *problem.tunnels;
+  const tm::TrafficMatrix& traffic = *problem.traffic;
+
+  util::Stopwatch total_clock;
+  stage1_s_ = stage2_s_ = 0.0;
+
+  TeSolution sol;
+  sol.solver_name = name();
+  sol.total_demand_gbps = traffic.total_demand_gbps();
+
+  // Pre-create allocations so stage 2 can write per-pair without locking.
+  std::vector<topo::SitePair> pair_ids;
+  std::vector<const std::vector<tm::EndpointDemand>*> pair_flows;
+  for (const auto& [pair, flows] : traffic.pairs()) {
+    auto& alloc = sol.pairs[pair];
+    alloc.tunnel_alloc.assign(tunnels.tunnels(pair.src, pair.dst).size(),
+                              0.0);
+    alloc.flow_tunnel.assign(flows.size(), -1);
+    pair_ids.push_back(pair);
+    pair_flows.push_back(&flows);
+  }
+
+  // Residual link capacities across QoS rounds.
+  std::vector<double> residual(g.num_links());
+  for (topo::EdgeId e = 0; e < g.num_links(); ++e) {
+    residual[e] = g.link(e).up ? g.link(e).capacity_gbps : 0.0;
+  }
+
+  util::ThreadPool pool(options_.threads);
+  const bool sequencing = options_.qos_sequencing;
+  const std::array<tm::QosClass, 3> rounds = {
+      tm::QosClass::kClass1, tm::QosClass::kClass2, tm::QosClass::kClass3};
+  const std::size_t num_rounds = sequencing ? rounds.size() : 1;
+
+  for (std::size_t round = 0; round < num_rounds; ++round) {
+    const tm::QosClass qos = rounds[round];
+
+    // --- SiteMerge: aggregate this round's demands to site level ---
+    std::unordered_map<topo::SitePair, double, topo::SitePairHash> d_k;
+    for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+      double sum = 0.0;
+      for (const auto& f : *pair_flows[p]) {
+        if (!sequencing || f.qos == qos) sum += f.demand_gbps;
+      }
+      if (sum > 0.0) d_k[pair_ids[p]] = sum;
+    }
+    if (d_k.empty()) continue;
+
+    // --- Stage 1: MaxSiteFlow on residual capacity ---
+    util::Stopwatch s1;
+    SiteLpResult lp =
+        options_.stage1_clusters > 1
+            ? solve_max_site_flow_clustered(
+                  g, tunnels, d_k, residual, problem.epsilon,
+                  options_.stage1_clusters, options_.site_lp,
+                  options_.threads)
+            : solve_max_site_flow(g, tunnels, d_k, residual,
+                                  problem.epsilon, options_.site_lp);
+    stage1_s_ += s1.elapsed_seconds();
+    sol.iterations += lp.iterations;
+
+    // --- Stage 2: per-pair FastSSP, parallel across site pairs ---
+    util::Stopwatch s2;
+    pool.parallel_for(pair_ids.size(), [&](std::size_t p) {
+      const topo::SitePair pair = pair_ids[p];
+      auto lp_it = lp.alloc.find(pair);
+      if (lp_it == lp.alloc.end()) return;
+      const auto& f_kt = lp_it->second;
+      const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+      // All pairs were pre-created above; find() avoids a concurrent
+      // operator[] insert on the shared map.
+      PairAllocation& alloc = sol.pairs.find(pair)->second;
+
+      ClassView view = class_view(*pair_flows[p], qos, sequencing);
+      std::vector<char> assigned(view.flow_ids.size(), 0);
+
+      // Tunnels in ascending weight (ts is already sorted by weight) —
+      // Appendix A.2: MaxEndpointFlow is solved sequentially, shorter
+      // tunnels first, each building on the remaining demand set.
+      for (std::size_t t = 0; t < ts.size() && t < f_kt.size(); ++t) {
+        if (f_kt[t] <= 0.0) continue;
+        // Demands still unassigned in this round.
+        std::vector<double> remaining;
+        std::vector<std::size_t> remaining_pos;
+        for (std::size_t i = 0; i < view.flow_ids.size(); ++i) {
+          if (!assigned[i]) {
+            remaining.push_back(view.demands[i]);
+            remaining_pos.push_back(i);
+          }
+        }
+        if (remaining.empty()) break;
+        ssp::Selection picked =
+            ssp::fast_ssp(remaining, f_kt[t], options_.fast_ssp);
+        for (std::size_t sel : picked.indices) {
+          const std::size_t local = remaining_pos[sel];
+          assigned[local] = 1;
+          alloc.flow_tunnel[view.flow_ids[local]] =
+              static_cast<std::int32_t>(t);
+          alloc.tunnel_alloc[t] += view.demands[local];
+        }
+      }
+    });
+    stage2_s_ += s2.elapsed_seconds();
+
+    // --- Update residual capacities with the *assigned* traffic ---
+    for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+      const topo::SitePair pair = pair_ids[p];
+      const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+      const PairAllocation& alloc = sol.pairs[pair];
+      const auto& flows = *pair_flows[p];
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (sequencing && flows[i].qos != qos) continue;
+        const std::int32_t t = alloc.flow_tunnel[i];
+        if (t < 0) continue;
+        for (topo::EdgeId e : ts[t].links) {
+          residual[e] = std::max(0.0, residual[e] - flows[i].demand_gbps);
+        }
+      }
+    }
+
+    // --- Residual repair (see MegaTeOptions::residual_repair) ---
+    if (options_.residual_repair) {
+      struct Unassigned {
+        std::size_t pair_index;
+        std::size_t flow_index;
+        double demand;
+      };
+      std::vector<Unassigned> left;
+      for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+        const PairAllocation& alloc = sol.pairs[pair_ids[p]];
+        const auto& flows = *pair_flows[p];
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (sequencing && flows[i].qos != qos) continue;
+          if (alloc.flow_tunnel[i] < 0 && flows[i].demand_gbps > 0.0) {
+            left.push_back({p, i, flows[i].demand_gbps});
+          }
+        }
+      }
+      std::sort(left.begin(), left.end(),
+                [](const Unassigned& a, const Unassigned& b) {
+                  return a.demand > b.demand;
+                });
+      for (const Unassigned& u : left) {
+        const topo::SitePair pair = pair_ids[u.pair_index];
+        const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+        PairAllocation& alloc = sol.pairs.find(pair)->second;
+        for (std::size_t t = 0; t < ts.size(); ++t) {
+          if (!ts[t].alive(g)) continue;
+          bool fits = true;
+          for (topo::EdgeId e : ts[t].links) {
+            if (residual[e] < u.demand) {
+              fits = false;
+              break;
+            }
+          }
+          if (!fits) continue;
+          alloc.flow_tunnel[u.flow_index] = static_cast<std::int32_t>(t);
+          alloc.tunnel_alloc[t] += u.demand;
+          for (topo::EdgeId e : ts[t].links) residual[e] -= u.demand;
+          break;
+        }
+      }
+    }
+  }
+
+  // Satisfied demand = sum of assigned flows.
+  double satisfied = 0.0;
+  for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+    const PairAllocation& alloc = sol.pairs[pair_ids[p]];
+    const auto& flows = *pair_flows[p];
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (alloc.flow_tunnel[i] >= 0) satisfied += flows[i].demand_gbps;
+    }
+  }
+  sol.satisfied_gbps = satisfied;
+  sol.solve_time_s = total_clock.elapsed_seconds();
+  // Working set: LP columns + one int per flow.
+  sol.est_memory_bytes =
+      traffic.num_flows() * (sizeof(std::int32_t) + sizeof(double)) +
+      tunnels.total_tunnels() * 64;
+  return sol;
+}
+
+}  // namespace megate::te

@@ -1,0 +1,48 @@
+#include "megate/tm/endpoints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "megate/util/rng.h"
+
+namespace megate::tm {
+
+std::uint64_t EndpointLayout::total_endpoints() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t c : per_site_) total += c;
+  return total;
+}
+
+EndpointLayout generate_endpoints(const topo::Graph& g,
+                                  const EndpointDistribution& dist,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> per_site(g.num_nodes());
+  for (auto& c : per_site) {
+    const double sample = rng.weibull(dist.shape, dist.scale);
+    c = std::max(dist.min_per_site,
+                 static_cast<std::uint32_t>(std::llround(sample)));
+  }
+  return EndpointLayout(std::move(per_site));
+}
+
+EndpointLayout generate_endpoints_with_total(const topo::Graph& g,
+                                             std::uint64_t target_total,
+                                             double shape,
+                                             std::uint64_t seed) {
+  // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k); invert for lambda.
+  const double mean_target =
+      static_cast<double>(target_total) / static_cast<double>(g.num_nodes());
+  const double gamma = std::tgamma(1.0 + 1.0 / shape);
+  EndpointDistribution dist;
+  dist.shape = shape;
+  dist.scale = std::max(1.0, mean_target / gamma);
+  return generate_endpoints(g, dist, seed);
+}
+
+double weibull_cdf(double x, double shape, double scale) {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale, shape));
+}
+
+}  // namespace megate::tm

@@ -1,0 +1,71 @@
+#pragma once
+// The second layer of the MegaTE contraction: virtual-instance endpoints
+// homed on router sites.
+//
+// The paper (Fig. 8) observes that the number of endpoints per site in the
+// production TWAN varies over orders of magnitude and fits a Weibull
+// distribution; the scale parameter is swept to change the total topology
+// size. Endpoints are identified by a 64-bit id = (site << 32) | index —
+// the star attachment means the id fully determines the endpoint's site.
+
+#include <cstdint>
+#include <vector>
+
+#include "megate/topo/graph.h"
+
+namespace megate::tm {
+
+using EndpointId = std::uint64_t;
+
+constexpr EndpointId make_endpoint(topo::NodeId site, std::uint32_t index) {
+  return (static_cast<EndpointId>(site) << 32) | index;
+}
+constexpr topo::NodeId endpoint_site(EndpointId ep) {
+  return static_cast<topo::NodeId>(ep >> 32);
+}
+constexpr std::uint32_t endpoint_index(EndpointId ep) {
+  return static_cast<std::uint32_t>(ep);
+}
+
+/// Weibull parameters for the endpoints-per-site distribution.
+struct EndpointDistribution {
+  double shape = 0.8;    ///< < 1: heavy spread over orders of magnitude
+  double scale = 1000.0; ///< swept to scale total endpoints (Figs. 9-10)
+  std::uint32_t min_per_site = 1;
+};
+
+/// Endpoint counts per site.
+class EndpointLayout {
+ public:
+  explicit EndpointLayout(std::vector<std::uint32_t> per_site)
+      : per_site_(std::move(per_site)) {}
+
+  std::uint32_t endpoints_at(topo::NodeId site) const {
+    return per_site_[site];
+  }
+  std::size_t num_sites() const noexcept { return per_site_.size(); }
+  std::uint64_t total_endpoints() const noexcept;
+
+  const std::vector<std::uint32_t>& per_site() const noexcept {
+    return per_site_;
+  }
+
+ private:
+  std::vector<std::uint32_t> per_site_;
+};
+
+/// Samples a layout for every site of `g`. Deterministic in `seed`.
+EndpointLayout generate_endpoints(const topo::Graph& g,
+                                  const EndpointDistribution& dist,
+                                  std::uint64_t seed);
+
+/// Convenience: picks the Weibull scale so the layout's expected total is
+/// close to `target_total` endpoints, then samples.
+EndpointLayout generate_endpoints_with_total(const topo::Graph& g,
+                                             std::uint64_t target_total,
+                                             double shape, std::uint64_t seed);
+
+/// CDF of Weibull(shape, scale) at x, for the Fig. 8 fit comparison.
+double weibull_cdf(double x, double shape, double scale);
+
+}  // namespace megate::tm

@@ -1,0 +1,68 @@
+#pragma once
+// Flow-demand prediction across TE periods (paper §8, "TE with
+// application-level statistics"): MegaTE's scheduler normally sees only
+// the previous period's measured bandwidth. Predicting the next period's
+// per-flow demand lets the optimizer provision before the traffic moves.
+//
+// Two estimators are provided:
+//   kLastValue — what the deployed system does (demand_t+1 = measured_t)
+//   kEwma      — exponentially weighted moving average per endpoint pair,
+//                robust to per-period noise on top of trends.
+//
+// The prediction experiment (bench/ablation_prediction) feeds both into
+// the MegaTE solver and compares realized satisfied demand against an
+// oracle that knows the next period exactly.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "megate/tm/traffic.h"
+
+namespace megate::tm {
+
+enum class PredictorKind { kLastValue, kEwma };
+
+class FlowPredictor {
+ public:
+  explicit FlowPredictor(PredictorKind kind = PredictorKind::kEwma,
+                         double ewma_alpha = 0.3);
+
+  /// Feeds one TE period's measured traffic.
+  void observe(const TrafficMatrix& measured);
+
+  /// Predicted matrix for the next period: every flow ever observed, at
+  /// its estimated demand (flows absent from the latest period decay
+  /// under kEwma and persist at their estimate; kLastValue drops them).
+  TrafficMatrix predict() const;
+
+  /// Mean absolute percentage error of the current prediction against an
+  /// actual matrix, over flows present in both (0 if nothing matches).
+  double mape(const TrafficMatrix& actual) const;
+
+  std::size_t tracked_flows() const noexcept { return state_.size(); }
+  PredictorKind kind() const noexcept { return kind_; }
+
+ private:
+  struct FlowKey {
+    EndpointId src;
+    EndpointId dst;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.src * 0x9E3779B97F4A7C15ULL ^
+                                        k.dst);
+    }
+  };
+  struct FlowState {
+    double estimate = 0.0;
+    QosClass qos = QosClass::kClass2;
+    bool seen_this_period = false;
+  };
+
+  PredictorKind kind_;
+  double alpha_;
+  std::unordered_map<FlowKey, FlowState, FlowKeyHash> state_;
+};
+
+}  // namespace megate::tm

@@ -1,0 +1,79 @@
+#include "megate/tm/prediction.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace megate::tm {
+
+FlowPredictor::FlowPredictor(PredictorKind kind, double ewma_alpha)
+    : kind_(kind), alpha_(ewma_alpha) {
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    throw std::invalid_argument("ewma_alpha must be in (0, 1]");
+  }
+}
+
+void FlowPredictor::observe(const TrafficMatrix& measured) {
+  for (auto& [key, st] : state_) st.seen_this_period = false;
+  for (const auto& [pair, flows] : measured.pairs()) {
+    for (const EndpointDemand& f : flows) {
+      FlowState& st = state_[FlowKey{f.src, f.dst}];
+      if (kind_ == PredictorKind::kLastValue) {
+        st.estimate = f.demand_gbps;
+      } else if (st.estimate == 0.0) {
+        st.estimate = f.demand_gbps;  // first observation seeds the EWMA
+      } else {
+        st.estimate = alpha_ * f.demand_gbps + (1.0 - alpha_) * st.estimate;
+      }
+      st.qos = f.qos;
+      st.seen_this_period = true;
+    }
+  }
+  // Flows that went quiet: kLastValue forgets them immediately (the
+  // deployed behaviour — no measurement, no allocation); kEwma decays
+  // them towards zero and drops them once negligible.
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (!it->second.seen_this_period) {
+      if (kind_ == PredictorKind::kLastValue) {
+        it = state_.erase(it);
+        continue;
+      }
+      it->second.estimate *= 1.0 - alpha_;
+      if (it->second.estimate < 1e-9) {
+        it = state_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+TrafficMatrix FlowPredictor::predict() const {
+  TrafficMatrix out;
+  for (const auto& [key, st] : state_) {
+    if (st.estimate <= 0.0) continue;
+    EndpointDemand d;
+    d.src = key.src;
+    d.dst = key.dst;
+    d.demand_gbps = st.estimate;
+    d.qos = st.qos;
+    out.add(d);
+  }
+  return out;
+}
+
+double FlowPredictor::mape(const TrafficMatrix& actual) const {
+  double err = 0.0;
+  std::size_t n = 0;
+  for (const auto& [pair, flows] : actual.pairs()) {
+    for (const EndpointDemand& f : flows) {
+      if (f.demand_gbps <= 0.0) continue;
+      auto it = state_.find(FlowKey{f.src, f.dst});
+      if (it == state_.end()) continue;
+      err += std::abs(it->second.estimate - f.demand_gbps) / f.demand_gbps;
+      ++n;
+    }
+  }
+  return n > 0 ? err / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace megate::tm

@@ -1,0 +1,47 @@
+#include "megate/topo/clustering.h"
+
+#include <algorithm>
+
+namespace megate::topo {
+
+std::vector<std::uint32_t> cluster_sites(const Graph& g, std::size_t count) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> cluster(n, ~std::uint32_t{0});
+  if (n == 0) return cluster;
+  count = std::max<std::size_t>(1, std::min(count, n));
+
+  std::vector<NodeId> frontier;
+  // Deterministic spread-out seeds: every n/count-th node.
+  const std::size_t stride = std::max<std::size_t>(1, n / count);
+  std::uint32_t c = 0;
+  for (std::size_t v = 0; v < n && c < count; v += stride, ++c) {
+    cluster[v] = c;
+    frontier.push_back(static_cast<NodeId>(v));
+  }
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (EdgeId e : g.out_edges(v)) {
+        const Link& l = g.link(e);
+        if (!l.up) continue;
+        if (cluster[l.dst] == ~std::uint32_t{0}) {
+          cluster[l.dst] = cluster[v];
+          next.push_back(l.dst);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (auto& cl : cluster) {
+    if (cl == ~std::uint32_t{0}) cl = 0;  // isolated leftovers
+  }
+  return cluster;
+}
+
+std::size_t num_clusters(const std::vector<std::uint32_t>& assignment) {
+  std::vector<std::uint32_t> sorted(assignment);
+  std::sort(sorted.begin(), sorted.end());
+  return std::unique(sorted.begin(), sorted.end()) - sorted.begin();
+}
+
+}  // namespace megate::topo

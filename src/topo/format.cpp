@@ -1,0 +1,99 @@
+#include "megate/topo/format.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+namespace megate::topo {
+
+void write_topology(std::ostream& os, const Graph& g) {
+  os << "megate-topology v1\n";
+  os << std::setprecision(12);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodePos& p = g.node_pos(v);
+    os << "node " << g.node_name(v) << ' ' << p.x << ' ' << p.y << '\n';
+  }
+  // Emit each duplex pair once (smaller id first); a directed-only link is
+  // emitted as-is and will come back duplex — acceptable because every
+  // generator in this library produces duplex links.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (EdgeId e = 0; e < g.num_links(); ++e) {
+    const Link& l = g.link(e);
+    const std::pair<NodeId, NodeId> key = std::minmax(l.src, l.dst);
+    if (!seen.insert(key).second) continue;
+    os << "link " << g.node_name(l.src) << ' ' << g.node_name(l.dst) << ' '
+       << l.capacity_gbps << ' ' << l.latency_ms << ' ' << l.cost_per_gbps
+       << ' ' << l.availability << '\n';
+  }
+}
+
+Graph read_topology(std::istream& is) {
+  Graph g;
+  std::string line;
+  bool header_seen = false;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (!header_seen) {
+      std::string version;
+      if (tok != "megate-topology" || !(ls >> version) || version != "v1") {
+        throw FormatError("line " + std::to_string(line_no) +
+                          ": expected 'megate-topology v1' header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tok == "node") {
+      std::string name;
+      NodePos pos;
+      if (!(ls >> name >> pos.x >> pos.y)) {
+        throw FormatError("line " + std::to_string(line_no) +
+                          ": malformed node line");
+      }
+      g.add_node(name, pos);
+    } else if (tok == "link") {
+      std::string src, dst;
+      double cap = 0, lat = 0, cost = 1, avail = 0.9999;
+      if (!(ls >> src >> dst >> cap >> lat >> cost >> avail)) {
+        throw FormatError("line " + std::to_string(line_no) +
+                          ": malformed link line");
+      }
+      const NodeId a = g.find_node(src);
+      const NodeId b = g.find_node(dst);
+      if (a == kInvalidNode || b == kInvalidNode) {
+        throw FormatError("line " + std::to_string(line_no) +
+                          ": link references unknown node");
+      }
+      g.add_duplex_link(a, b, cap, lat, cost, avail);
+    } else {
+      throw FormatError("line " + std::to_string(line_no) +
+                        ": unknown directive '" + tok + "'");
+    }
+  }
+  if (!header_seen) throw FormatError("missing 'megate-topology v1' header");
+  return g;
+}
+
+void save_topology(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_topology(os, g);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_topology(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_topology(is);
+}
+
+}  // namespace megate::topo

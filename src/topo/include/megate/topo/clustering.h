@@ -1,0 +1,23 @@
+#pragma once
+// Site clustering for topology contraction. Used by the NCFlow baseline
+// and by MegaTE's optional cluster-contracted MaxSiteFlow (§8
+// "Accelerating MaxSiteFlow solving": a synergy between NCFlow-style
+// contraction and the SSP second stage).
+
+#include <cstdint>
+#include <vector>
+
+#include "megate/topo/graph.h"
+
+namespace megate::topo {
+
+/// Partitions the sites of `g` into `count` clusters by multi-source BFS
+/// over up links from evenly spread seeds. Every site lands in exactly
+/// one cluster; sites unreachable from any seed join cluster 0.
+/// Deterministic. Returns one cluster id per site.
+std::vector<std::uint32_t> cluster_sites(const Graph& g, std::size_t count);
+
+/// Number of distinct clusters in an assignment.
+std::size_t num_clusters(const std::vector<std::uint32_t>& assignment);
+
+}  // namespace megate::topo

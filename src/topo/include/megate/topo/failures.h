@@ -1,0 +1,27 @@
+#pragma once
+// Link-failure injection for the robustness experiments (Fig. 12).
+
+#include <cstdint>
+#include <vector>
+
+#include "megate/topo/graph.h"
+
+namespace megate::topo {
+
+/// A failed duplex link (both directed halves taken down together).
+struct FailureEvent {
+  EdgeId forward = kInvalidEdge;
+  EdgeId reverse = kInvalidEdge;
+};
+
+/// Fails `count` distinct duplex links chosen uniformly at random among
+/// links whose removal keeps the graph connected (the paper's failure
+/// scenarios assume the WAN stays connected and TE reroutes). Returns the
+/// failed links; the graph is modified in place. Deterministic in `seed`.
+std::vector<FailureEvent> inject_link_failures(Graph& g, std::uint32_t count,
+                                               std::uint64_t seed);
+
+/// Restores the given failures.
+void restore_failures(Graph& g, const std::vector<FailureEvent>& events);
+
+}  // namespace megate::topo

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text topology serialization so generated networks can be inspected,
+// versioned, and reloaded:
+//
+//   # comment
+//   megate-topology v1
+//   node <name> <x> <y>
+//   link <src-name> <dst-name> <capacity-gbps> <latency-ms> <cost> <avail>
+//
+// `link` lines are duplex (two directed links are created).
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "megate/topo/graph.h"
+
+namespace megate::topo {
+
+/// Raised on malformed input.
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_topology(std::ostream& os, const Graph& g);
+Graph read_topology(std::istream& is);
+
+/// Convenience file wrappers; throw FormatError / std::runtime_error on IO
+/// failure.
+void save_topology(const std::string& path, const Graph& g);
+Graph load_topology(const std::string& path);
+
+}  // namespace megate::topo

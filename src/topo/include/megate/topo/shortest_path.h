@@ -1,0 +1,39 @@
+#pragma once
+// Latency-weighted shortest paths over the site graph (Dijkstra), used by
+// the tunnel builder (Yen's algorithm) and by the simulator.
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "megate/topo/graph.h"
+
+namespace megate::topo {
+
+/// A loop-free directed path as a link sequence.
+struct Path {
+  std::vector<EdgeId> links;
+  double latency_ms = 0.0;
+
+  bool empty() const noexcept { return links.empty(); }
+  std::size_t hops() const noexcept { return links.size(); }
+};
+
+/// Options restricting the search; used by Yen's spur computation and by
+/// failure-aware recomputation.
+struct PathConstraints {
+  /// Links that must not be used (in addition to links that are down).
+  const std::unordered_set<EdgeId>* banned_links = nullptr;
+  /// Nodes that must not be visited (source exempt).
+  const std::unordered_set<NodeId>* banned_nodes = nullptr;
+};
+
+/// Latency-shortest path from src to dst over up links, or nullopt if
+/// unreachable under the constraints.
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const PathConstraints& constraints = {});
+
+/// One-to-all latency distances (unreachable -> +inf).
+std::vector<double> shortest_distances(const Graph& g, NodeId src);
+
+}  // namespace megate::topo

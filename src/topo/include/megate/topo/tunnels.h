@@ -1,0 +1,88 @@
+#pragma once
+// Pre-established TE tunnels (the paper's T_k, Table 1).
+//
+// For every ordered site pair k the control plane pre-establishes up to
+// `tunnels_per_pair` link-disjoint-ish low-latency paths via Yen's
+// k-shortest-paths. Each tunnel carries the paper's weight w_t (derived
+// from its latency: higher latency -> larger weight), which both the
+// MaxSiteFlow objective and the FastSSP tunnel ordering consume.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "megate/topo/graph.h"
+#include "megate/topo/shortest_path.h"
+
+namespace megate::topo {
+
+/// One pre-established tunnel for a site pair.
+struct Tunnel {
+  std::vector<EdgeId> links;
+  double latency_ms = 0.0;
+  double weight = 0.0;  ///< w_t: normalized latency, ascending == preferred
+
+  std::size_t hops() const noexcept { return links.size(); }
+  /// True iff every link of the tunnel is currently up.
+  bool alive(const Graph& g) const;
+};
+
+/// Ordered site pair index (the paper's k in K).
+struct SitePair {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  bool operator==(const SitePair&) const = default;
+};
+
+struct SitePairHash {
+  std::size_t operator()(const SitePair& p) const noexcept {
+    return (static_cast<std::size_t>(p.src) << 32) ^ p.dst;
+  }
+};
+
+struct TunnelOptions {
+  std::uint32_t tunnels_per_pair = 4;
+  /// Yen's spur search explores up to this many candidates per pair.
+  std::uint32_t max_candidates = 32;
+};
+
+/// All tunnels of a topology, indexed by ordered site pair.
+class TunnelSet {
+ public:
+  /// Tunnels for (src, dst), sorted by ascending weight; empty if the pair
+  /// was never built or is disconnected.
+  const std::vector<Tunnel>& tunnels(NodeId src, NodeId dst) const;
+
+  void set_tunnels(NodeId src, NodeId dst, std::vector<Tunnel> tunnels);
+
+  std::size_t num_pairs() const noexcept { return map_.size(); }
+  std::size_t total_tunnels() const noexcept;
+
+  /// Iteration support for benches/tests.
+  const std::unordered_map<SitePair, std::vector<Tunnel>, SitePairHash>& all()
+      const noexcept {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<SitePair, std::vector<Tunnel>, SitePairHash> map_;
+  std::vector<Tunnel> empty_;
+};
+
+/// Yen's K shortest loopless paths from src to dst (ascending latency).
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::uint32_t k,
+                                   std::uint32_t max_candidates = 32);
+
+/// Builds tunnels for every ordered pair of distinct sites. Weights are the
+/// tunnel latency divided by the pair's shortest-path latency (so the best
+/// tunnel has weight 1.0), matching "w_t determined by the network latency".
+TunnelSet build_tunnels(const Graph& g, const TunnelOptions& options = {});
+
+/// Rebuilds tunnels for pairs whose tunnel lists lost members to link
+/// failures, keeping surviving tunnels' identities stable.
+void repair_tunnels(const Graph& g, TunnelSet& tunnels,
+                    const TunnelOptions& options = {});
+
+}  // namespace megate::topo

@@ -1,0 +1,161 @@
+#include "megate/topo/tunnels.h"
+
+#include <algorithm>
+#include <set>
+
+namespace megate::topo {
+
+bool Tunnel::alive(const Graph& g) const {
+  for (EdgeId e : links) {
+    if (!g.link(e).up) return false;
+  }
+  return true;
+}
+
+const std::vector<Tunnel>& TunnelSet::tunnels(NodeId src, NodeId dst) const {
+  auto it = map_.find(SitePair{src, dst});
+  return it == map_.end() ? empty_ : it->second;
+}
+
+void TunnelSet::set_tunnels(NodeId src, NodeId dst,
+                            std::vector<Tunnel> tunnels) {
+  map_[SitePair{src, dst}] = std::move(tunnels);
+}
+
+std::size_t TunnelSet::total_tunnels() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [pair, ts] : map_) n += ts.size();
+  return n;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::uint32_t k,
+                                   std::uint32_t max_candidates) {
+  std::vector<Path> result;
+  if (k == 0 || src == dst) return result;
+  auto first = shortest_path(g, src, dst);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool ordered by latency; dedup on the link sequence.
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.latency_ms != b.latency_ms) return a.latency_ms < b.latency_ms;
+    return a.links < b.links;
+  };
+  std::set<Path, decltype(path_less)> candidates(path_less);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path.
+    std::unordered_set<NodeId> banned_nodes;
+    NodeId spur_node = src;
+    Path root;  // prefix of prev up to (not including) the spur link
+    for (std::size_t i = 0; i < prev.links.size(); ++i) {
+      std::unordered_set<EdgeId> banned_links;
+      // Ban the i-th link of every accepted path sharing this root.
+      for (const Path& p : result) {
+        if (p.links.size() <= i) continue;
+        bool same_root = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (p.links[j] != root.links[j]) {
+            same_root = false;
+            break;
+          }
+        }
+        if (same_root) banned_links.insert(p.links[i]);
+      }
+      PathConstraints constraints;
+      constraints.banned_links = &banned_links;
+      constraints.banned_nodes = &banned_nodes;
+      if (auto spur = shortest_path(g, spur_node, dst, constraints)) {
+        Path total = root;
+        total.links.insert(total.links.end(), spur->links.begin(),
+                           spur->links.end());
+        total.latency_ms = root.latency_ms + spur->latency_ms;
+        if (candidates.size() < max_candidates) {
+          candidates.insert(std::move(total));
+        }
+      }
+      // Extend the root by the spur link and ban the spur node for the
+      // remaining iterations (loopless requirement).
+      banned_nodes.insert(spur_node);
+      const Link& l = g.link(prev.links[i]);
+      root.links.push_back(prev.links[i]);
+      root.latency_ms += l.latency_ms;
+      spur_node = l.dst;
+    }
+    // Pull the best unseen candidate.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      Path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool duplicate =
+          std::any_of(result.begin(), result.end(), [&](const Path& p) {
+            return p.links == best.links;
+          });
+      if (!duplicate) {
+        result.push_back(std::move(best));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // exhausted
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<Tunnel> paths_to_tunnels(const std::vector<Path>& paths) {
+  std::vector<Tunnel> tunnels;
+  tunnels.reserve(paths.size());
+  if (paths.empty()) return tunnels;
+  const double base = paths.front().latency_ms;
+  for (const Path& p : paths) {
+    Tunnel t;
+    t.links = p.links;
+    t.latency_ms = p.latency_ms;
+    // w_t = latency normalized by the pair's best latency; >= 1, ascending
+    // order == preference order. A zero-latency pair degenerates to hops.
+    t.weight = base > 0.0 ? p.latency_ms / base
+                          : static_cast<double>(p.hops());
+    tunnels.push_back(std::move(t));
+  }
+  std::sort(tunnels.begin(), tunnels.end(),
+            [](const Tunnel& a, const Tunnel& b) { return a.weight < b.weight; });
+  return tunnels;
+}
+
+}  // namespace
+
+TunnelSet build_tunnels(const Graph& g, const TunnelOptions& options) {
+  TunnelSet set;
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      auto paths = k_shortest_paths(g, s, d, options.tunnels_per_pair,
+                                    options.max_candidates);
+      if (!paths.empty()) set.set_tunnels(s, d, paths_to_tunnels(paths));
+    }
+  }
+  return set;
+}
+
+void repair_tunnels(const Graph& g, TunnelSet& tunnels,
+                    const TunnelOptions& options) {
+  std::vector<SitePair> to_fix;
+  for (const auto& [pair, ts] : tunnels.all()) {
+    const bool any_dead = std::any_of(
+        ts.begin(), ts.end(), [&](const Tunnel& t) { return !t.alive(g); });
+    if (any_dead) to_fix.push_back(pair);
+  }
+  for (const SitePair& pair : to_fix) {
+    auto paths = k_shortest_paths(g, pair.src, pair.dst,
+                                  options.tunnels_per_pair,
+                                  options.max_candidates);
+    tunnels.set_tunnels(pair.src, pair.dst, paths_to_tunnels(paths));
+  }
+}
+
+}  // namespace megate::topo

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logging. The library itself logs nothing at Info by
+// default; solvers log timing at Debug so benches stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace megate::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (default kWarn: library is quiet).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Sink for a formatted record; thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace megate::util
+
+#define MEGATE_LOG(level)                                    \
+  if (::megate::util::log_level() <= (level))                \
+  ::megate::util::detail::LogLine(level)
+
+#define MEGATE_LOG_DEBUG MEGATE_LOG(::megate::util::LogLevel::kDebug)
+#define MEGATE_LOG_INFO MEGATE_LOG(::megate::util::LogLevel::kInfo)
+#define MEGATE_LOG_WARN MEGATE_LOG(::megate::util::LogLevel::kWarn)
+#define MEGATE_LOG_ERROR MEGATE_LOG(::megate::util::LogLevel::kError)

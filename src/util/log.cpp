@@ -1,0 +1,33 @@
+#include "megate/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace megate::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_sink_mu);
+  std::fprintf(stderr, "[megate %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace megate::util

@@ -1,0 +1,70 @@
+#include "megate/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace megate::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.sum = acc.sum();
+  s.mean = acc.mean();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::span<const double> xs) {
+  std::vector<std::pair<double, double>> cdf;
+  if (xs.empty()) return cdf;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values to one step at the run's end.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    cdf.emplace_back(sorted[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace megate::util

@@ -1,0 +1,311 @@
+// Tests for megate::ctrl — the sharded KV store, controller publication,
+// endpoint agents (bottom-up pull loop), the §6.4 sync cost model and the
+// persistent-connection pressure simulation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "megate/ctrl/agent.h"
+#include "megate/ctrl/connection_manager.h"
+#include "megate/ctrl/controller.h"
+#include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/sync_model.h"
+#include "megate/te/megate_solver.h"
+#include "megate/util/stats.h"
+#include "test_helpers.h"
+
+namespace megate::ctrl {
+namespace {
+
+// --- KvStore ---------------------------------------------------------------
+
+TEST(KvStore, PutGetErase) {
+  KvStore kv(2);
+  kv.put("a", "1");
+  EXPECT_EQ(kv.get("a"), "1");
+  EXPECT_EQ(kv.get("missing"), std::nullopt);
+  kv.put("a", "2");
+  EXPECT_EQ(kv.get("a"), "2");
+  EXPECT_TRUE(kv.erase("a"));
+  EXPECT_FALSE(kv.erase("a"));
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStore, PublishBumpsVersionAtomically) {
+  KvStore kv(2);
+  EXPECT_EQ(kv.version(), 0u);
+  const Version v1 = kv.publish({{"x", "1"}, {"y", "2"}});
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(kv.version(), 1u);
+  EXPECT_EQ(kv.get("x"), "1");
+  const Version v2 = kv.publish({{"x", "3"}});
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(kv.get("x"), "3");
+  EXPECT_EQ(kv.get("y"), "2");
+}
+
+TEST(KvStore, RejectsZeroShards) {
+  EXPECT_THROW(KvStore(0), std::invalid_argument);
+}
+
+TEST(KvStore, CountsQueries) {
+  KvStore kv(2);
+  kv.put("k", "v");
+  const auto before = kv.query_count();
+  kv.get("k");
+  kv.get("k");
+  kv.get("nope");
+  EXPECT_EQ(kv.query_count(), before + 3);
+}
+
+TEST(KvStore, KeysSpreadAcrossShards) {
+  KvStore kv(4);
+  for (int i = 0; i < 100; ++i) kv.put("key" + std::to_string(i), "v");
+  EXPECT_EQ(kv.size(), 100u);
+}
+
+TEST(KvStore, ConcurrentReadersAndWriters) {
+  KvStore kv(4);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&kv, w] {
+      for (int i = 0; i < 500; ++i) {
+        kv.put("k" + std::to_string(w) + "/" + std::to_string(i), "v");
+        kv.get("k0/" + std::to_string(i % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(kv.size(), 4u * 500u);
+}
+
+// --- controller encode/decode ---------------------------------------------
+
+TEST(Controller, HopCodecRoundTrip) {
+  const std::vector<std::uint32_t> hops{1, 22, 333, 4444};
+  EXPECT_EQ(decode_hops(encode_hops(hops)), hops);
+  EXPECT_TRUE(decode_hops("").empty());
+  EXPECT_TRUE(encode_hops({}).empty());
+}
+
+TEST(Controller, DecodeToleratesMalformedTail) {
+  EXPECT_EQ(decode_hops("1,2,junk"), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Controller, RouteCodecRoundTrip) {
+  std::vector<RouteEntry> routes;
+  routes.push_back({7, {1, 2, 3}});
+  routes.push_back({dataplane::kAnyDstSite, {9}});
+  EXPECT_EQ(decode_routes(encode_routes(routes)), routes);
+  EXPECT_TRUE(decode_routes("").empty());
+}
+
+TEST(Controller, RouteCodecSkipsMalformedEntries) {
+  auto routes = decode_routes("5:1,2|garbage|8:3");
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].dst_site, 5u);
+  EXPECT_EQ(routes[1].dst_site, 8u);
+  EXPECT_EQ(routes[1].hops, (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Controller, PublishPathStoresEntry) {
+  KvStore kv(2);
+  Controller ctrl(&kv);
+  const Version v = ctrl.publish_path(42, {7, 8});
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(kv.get(path_key(42)), "*:7,8");
+  EXPECT_EQ(ctrl.entries_published(), 1u);
+}
+
+TEST(Controller, PublishSolutionWritesPerSourceInstance) {
+  auto s = megate::testing::make_scenario(6, 10, 10, 0.2);
+  te::MegaTeSolver solver;
+  te::TeSolution sol = solver.solve(s->problem());
+  KvStore kv(2);
+  Controller ctrl(&kv);
+  ctrl.publish_solution(s->problem(), sol);
+  EXPECT_EQ(kv.version(), 1u);
+  EXPECT_GT(ctrl.entries_published(), 0u);
+  // Every assigned flow's source instance must have a route-table entry
+  // for the flow's destination site whose hop list ends at that site.
+  std::size_t verified = 0;
+  for (const auto& [pair, alloc] : sol.pairs) {
+    auto it = s->traffic.pairs().find(pair);
+    if (it == s->traffic.pairs().end()) continue;
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (alloc.flow_tunnel[i] < 0) continue;
+      auto entry = kv.get(path_key(it->second[i].src));
+      ASSERT_TRUE(entry.has_value());
+      auto routes = decode_routes(*entry);
+      auto match = std::find_if(routes.begin(), routes.end(),
+                                [&](const RouteEntry& r) {
+                                  return r.dst_site == pair.dst;
+                                });
+      ASSERT_NE(match, routes.end());
+      ASSERT_FALSE(match->hops.empty());
+      EXPECT_EQ(match->hops.back(), pair.dst);
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+// --- endpoint agent ---------------------------------------------------------
+
+TEST(Agent, PullsOnVersionChange) {
+  KvStore kv(2);
+  AgentOptions opt;
+  opt.poll_interval_s = 1.0;
+  opt.spread_interval_s = 1.0;
+  EndpointAgent agent(5, &kv, nullptr, opt);
+  agent.tick(0.5);  // before any publish: nothing to apply
+  EXPECT_EQ(agent.applied_version(), 0u);
+  kv.publish({{path_key(5), "*:1,2,3"}});
+  agent.tick(3.0);
+  EXPECT_EQ(agent.applied_version(), 1u);
+  EXPECT_EQ(agent.hops_for(99), (std::vector<std::uint32_t>{1, 2, 3}))
+      << "wildcard route applies to every destination site";
+}
+
+TEST(Agent, InstallsIntoHostStack) {
+  KvStore kv(2);
+  dataplane::HostStack stack;
+  stack.on_sys_enter_execve(1, 5);
+  dataplane::FiveTuple t;
+  t.src_ip = 1;
+  t.dst_ip = 2;
+  t.proto = dataplane::kProtoUdp;
+  t.src_port = 100;
+  t.dst_port = 200;
+  stack.on_conntrack_event(t, 1);
+
+  AgentOptions opt;
+  opt.poll_interval_s = 1.0;
+  EndpointAgent agent(5, &kv, &stack, opt);
+  kv.publish({{path_key(5), "*:9,10"}});
+  agent.tick(5.0);
+  // The stack now encapsulates this instance's packets with SR.
+  dataplane::Buffer frame;
+  dataplane::EthernetHeader eth;
+  eth.serialize(frame);
+  dataplane::Ipv4Header ip;
+  ip.protocol = dataplane::kProtoUdp;
+  ip.src_ip = 1;
+  ip.dst_ip = 2;
+  ip.total_length = dataplane::kIpv4HeaderSize + dataplane::kUdpHeaderSize;
+  ip.serialize(frame);
+  dataplane::UdpHeader udp;
+  udp.src_port = 100;
+  udp.dst_port = 200;
+  udp.serialize(frame);
+  auto v = stack.tc_egress(frame, 0xFF);
+  EXPECT_EQ(v.action, dataplane::TcVerdict::Action::kEncapsulated);
+}
+
+TEST(Agent, PollCountTracksInterval) {
+  KvStore kv(2);
+  AgentOptions opt;
+  opt.poll_interval_s = 2.0;
+  opt.spread_interval_s = 2.0;
+  EndpointAgent agent(3, &kv, nullptr, opt);
+  agent.tick(10.0);
+  // phase in [0,2) then every 2 s until 10 -> 5 or 6 polls.
+  EXPECT_GE(agent.polls(), 5u);
+  EXPECT_LE(agent.polls(), 6u);
+}
+
+TEST(Agent, SyncLagsBoundedByPollInterval) {
+  KvStore kv(2);
+  AgentOptions opt;
+  opt.poll_interval_s = 10.0;
+  opt.spread_interval_s = 10.0;
+  auto lags = measure_sync_lags(kv, 500, opt, /*publish_at=*/30.0,
+                                /*horizon=*/60.0, /*step=*/0.25);
+  ASSERT_EQ(lags.size(), 500u);
+  for (double lag : lags) {
+    EXPECT_GE(lag, -0.26);  // tick quantization
+    EXPECT_LE(lag, opt.poll_interval_s + 0.26)
+        << "eventual consistency within one poll interval";
+  }
+  // Spreading: lags should cover the interval, not cluster at one point.
+  const double spread = util::percentile(lags, 95) -
+                        util::percentile(lags, 5);
+  EXPECT_GT(spread, 0.5 * opt.poll_interval_s);
+}
+
+// --- sync cost model ---------------------------------------------------------
+
+TEST(SyncModel, MatchesPaperPressureTest) {
+  SyncCostModel m;
+  // Fig. 13 anchor: 6,000 connections -> 90% CPU, 750 MB.
+  EXPECT_NEAR(m.top_down_cpu_percent(6000), 90.0, 1e-9);
+  EXPECT_NEAR(m.top_down_memory_mb(6000), 750.0, 1e-9);
+}
+
+TEST(SyncModel, MatchesPaperMillionEndpointFigures) {
+  SyncCostModel m;
+  // Fig. 14 anchor: 1M endpoints -> >= 167 cores, ~125 GB.
+  const SyncResources r = m.top_down(1'000'000);
+  EXPECT_NEAR(r.cpu_cores, 167.0, 1.0);
+  EXPECT_NEAR(r.memory_gb, 122.0, 3.0);
+  const SyncResources b = m.bottom_up(1'000'000);
+  EXPECT_DOUBLE_EQ(b.cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(b.memory_gb, 1.0);
+  EXPECT_EQ(b.db_shards, 2u);  // 100k QPS over two 80k shards
+}
+
+TEST(SyncModel, SmallFleetsFitOneCore) {
+  SyncCostModel m;
+  const SyncResources r = m.top_down(1000);
+  EXPECT_DOUBLE_EQ(r.cpu_cores, 1.0);
+  EXPECT_LE(r.memory_gb, 0.25);
+}
+
+TEST(SyncModel, MonotoneInEndpoints) {
+  SyncCostModel m;
+  double prev_cores = 0.0;
+  for (std::uint64_t n : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    const SyncResources r = m.top_down(n);
+    EXPECT_GE(r.cpu_cores, prev_cores);
+    prev_cores = r.cpu_cores;
+  }
+}
+
+// --- connection manager pressure sim ------------------------------------
+
+TEST(ConnectionManager, CalibratedCpuAtSixThousand) {
+  ConnectionManager cm;
+  cm.connect(6000);
+  cm.run(100.0);
+  EXPECT_NEAR(cm.cpu_utilization(), 0.90, 1e-9);
+  EXPECT_NEAR(cm.memory_mb(), 750.0, 1e-6);
+}
+
+TEST(ConnectionManager, ScalesLinearly) {
+  ConnectionManager cm;
+  cm.connect(3000);
+  cm.run(50.0);
+  EXPECT_NEAR(cm.cpu_utilization(), 0.45, 1e-9);
+}
+
+TEST(ConnectionManager, PushAddsWork) {
+  ConnectionManager a, b;
+  a.connect(1000);
+  b.connect(1000);
+  a.run(10.0);
+  b.run(10.0);
+  b.push_config_all();
+  EXPECT_GT(b.cpu_utilization(), a.cpu_utilization());
+}
+
+TEST(ConnectionManager, DisconnectClamps) {
+  ConnectionManager cm;
+  cm.connect(10);
+  cm.disconnect(100);
+  EXPECT_EQ(cm.connections(), 0u);
+}
+
+}  // namespace
+}  // namespace megate::ctrl

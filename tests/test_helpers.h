@@ -1,0 +1,53 @@
+#pragma once
+// Shared fixtures for the TE-layer tests: a small deterministic WAN with
+// endpoints, tunnels and a traffic matrix sized so solutions are neither
+// trivially full nor empty.
+
+#include <memory>
+
+#include "megate/te/types.h"
+#include "megate/tm/endpoints.h"
+#include "megate/tm/traffic.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/tunnels.h"
+
+namespace megate::testing {
+
+struct Scenario {
+  topo::Graph graph;
+  topo::TunnelSet tunnels;
+  tm::TrafficMatrix traffic;
+
+  te::TeProblem problem() const {
+    te::TeProblem p;
+    p.graph = &graph;
+    p.tunnels = &tunnels;
+    p.traffic = &traffic;
+    return p;
+  }
+};
+
+/// `load` scales total demand relative to total link capacity; ~0.15
+/// produces the partially-satisfiable regime the paper's plots live in.
+inline std::unique_ptr<Scenario> make_scenario(std::uint32_t sites,
+                                               std::uint32_t links,
+                                               std::uint32_t eps_per_site,
+                                               double load = 0.15,
+                                               std::uint64_t seed = 42) {
+  auto s = std::make_unique<Scenario>();
+  topo::GeneratorOptions gopt;
+  gopt.seed = seed;
+  s->graph = topo::make_isp_like(sites, links, gopt);
+  topo::TunnelOptions topt;
+  topt.tunnels_per_pair = 3;
+  s->tunnels = topo::build_tunnels(s->graph, topt);
+  tm::EndpointLayout layout(
+      std::vector<std::uint32_t>(s->graph.num_nodes(), eps_per_site));
+  tm::TrafficOptions topts;
+  topts.flows_per_endpoint = 1.5;
+  topts.target_total_gbps = tm::total_link_capacity_gbps(s->graph) * load;
+  s->traffic = tm::generate_traffic(s->graph, layout, topts, seed + 1);
+  return s;
+}
+
+}  // namespace megate::testing

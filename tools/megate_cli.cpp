@@ -1,0 +1,252 @@
+// megate_cli — command-line front end to the MegaTE library.
+//
+//   megate_cli topo  --kind b4|deltacom|cogentco|twan [--seed N]
+//                    [--sites N] --out FILE         generate a topology
+//   megate_cli info  --topo FILE [--gml]            inspect a topology
+//   megate_cli solve --topo FILE | --kind KIND      run a TE solver
+//                    [--gml] [--endpoints N] [--load F]
+//                    [--solver megate|lpall|ncflow|teal] [--seed N]
+//   megate_cli sync  --endpoints N                  Fig. 14 resource rows
+//
+// Exit code 0 on success, 1 on a constraint violation or solver refusal,
+// 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "megate/ctrl/sync_model.h"
+#include "megate/te/baselines.h"
+#include "megate/te/checker.h"
+#include "megate/te/megate_solver.h"
+#include "megate/tm/endpoints.h"
+#include "megate/tm/traffic.h"
+#include "megate/topo/format.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/gml.h"
+#include "megate/topo/tunnels.h"
+#include "megate/util/table.h"
+
+namespace {
+
+using namespace megate;
+
+int usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  megate_cli topo  --kind KIND [--seed N] [--sites N] --out FILE\n"
+      "  megate_cli info  --topo FILE [--gml]\n"
+      "  megate_cli solve (--topo FILE [--gml] | --kind KIND)\n"
+      "                   [--endpoints N] [--load F] [--solver NAME]\n"
+      "                   [--seed N]\n"
+      "  megate_cli sync  --endpoints N\n"
+      "KIND: b4 | deltacom | cogentco | twan; NAME: megate | lpall |\n"
+      "ncflow | teal\n";
+  return 2;
+}
+
+/// "--key value" flags into a map; returns false on a stray token.
+bool parse_flags(int argc, char** argv, int start,
+                 std::map<std::string, std::string>& flags) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    if (i + 1 >= argc) return false;
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return true;
+}
+
+std::optional<topo::TopologyKind> kind_of(const std::string& name) {
+  if (name == "b4") return topo::TopologyKind::kB4;
+  if (name == "deltacom") return topo::TopologyKind::kDeltacom;
+  if (name == "cogentco") return topo::TopologyKind::kCogentco;
+  if (name == "twan") return topo::TopologyKind::kTwan;
+  return std::nullopt;
+}
+
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+/// Loads via --topo (text or --gml) or generates via --kind.
+std::optional<topo::Graph> load_graph(
+    const std::map<std::string, std::string>& flags) {
+  if (auto it = flags.find("topo"); it != flags.end()) {
+    if (flags.contains("gml")) return topo::load_gml(it->second);
+    return topo::load_topology(it->second);
+  }
+  if (auto it = flags.find("kind"); it != flags.end()) {
+    auto kind = kind_of(it->second);
+    if (!kind) return std::nullopt;
+    topo::GeneratorOptions gopt;
+    gopt.seed = flag_u64(flags, "seed", 42);
+    gopt.twan_sites =
+        static_cast<std::uint32_t>(flag_u64(flags, "sites", 100));
+    return topo::make_topology(*kind, gopt);
+  }
+  return std::nullopt;
+}
+
+int cmd_topo(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("out");
+  if (it == flags.end()) return usage("topo requires --out");
+  auto graph = load_graph(flags);
+  if (!graph) return usage("topo requires a valid --kind");
+  topo::save_topology(it->second, *graph);
+  std::cout << "wrote " << graph->num_nodes() << " sites / "
+            << graph->num_links() / 2 << " duplex links to " << it->second
+            << "\n";
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  auto graph = load_graph(flags);
+  if (!graph) return usage("info requires --topo or --kind");
+  util::Table t("topology");
+  t.header({"metric", "value"});
+  t.add_row({"sites", util::Table::num(graph->num_nodes())});
+  t.add_row({"duplex links", util::Table::num(graph->num_links() / 2)});
+  t.add_row({"connected", graph->is_connected() ? "yes" : "no"});
+  t.add_row({"total capacity (Gbps)",
+             util::Table::num(tm::total_link_capacity_gbps(*graph), 0)});
+  double lat = 0;
+  for (const topo::Link& l : graph->links()) lat += l.latency_ms;
+  t.add_row({"mean link latency (ms)",
+             util::Table::num(lat / graph->num_links(), 2)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_solve(const std::map<std::string, std::string>& flags) {
+  auto graph = load_graph(flags);
+  if (!graph) return usage("solve requires --topo or --kind");
+  const std::uint64_t seed = flag_u64(flags, "seed", 42);
+  const std::uint64_t endpoints = flag_u64(flags, "endpoints", 1000);
+  const double load = flag_double(flags, "load", 0.5);
+  const std::string solver_name =
+      flags.contains("solver") ? flags.at("solver") : "megate";
+
+  topo::TunnelSet tunnels = topo::build_tunnels(*graph);
+  auto layout =
+      tm::generate_endpoints_with_total(*graph, endpoints, 0.8, seed);
+  // Load is relative to routable capacity (capacity / mean hops).
+  double hops = 0;
+  std::size_t pairs = 0;
+  for (const auto& [pair, ts] : tunnels.all()) {
+    if (!ts.empty()) {
+      hops += static_cast<double>(ts.front().hops());
+      ++pairs;
+    }
+  }
+  const double mean_hops = pairs ? hops / static_cast<double>(pairs) : 1.0;
+  tm::TrafficOptions tmo;
+  tmo.target_total_gbps =
+      tm::total_link_capacity_gbps(*graph) * load / mean_hops;
+  tm::TrafficMatrix traffic =
+      tm::generate_traffic(*graph, layout, tmo, seed + 1);
+
+  std::unique_ptr<te::Solver> solver;
+  if (solver_name == "megate") {
+    solver = std::make_unique<te::MegaTeSolver>();
+  } else if (solver_name == "lpall") {
+    solver = std::make_unique<te::LpAllSolver>();
+  } else if (solver_name == "ncflow") {
+    solver = std::make_unique<te::NcFlowSolver>();
+  } else if (solver_name == "teal") {
+    solver = std::make_unique<te::TealSolver>();
+  } else {
+    return usage("unknown --solver");
+  }
+
+  te::TeProblem problem;
+  problem.graph = &*graph;
+  problem.tunnels = &tunnels;
+  problem.traffic = &traffic;
+  te::TeSolution sol = solver->solve(problem);
+  if (!sol.solved) {
+    std::cerr << sol.solver_name
+              << ": instance too large for this solver (the paper's OOM "
+                 "wall); try --solver megate\n";
+    return 1;
+  }
+  auto check = te::check_solution(problem, sol);
+
+  util::Table t("TE solve");
+  t.header({"metric", "value"});
+  t.add_row({"solver", sol.solver_name});
+  t.add_row({"endpoints", util::Table::with_commas(layout.total_endpoints())});
+  t.add_row({"flows", util::Table::with_commas(traffic.num_flows())});
+  t.add_row({"total demand (Gbps)",
+             util::Table::num(sol.total_demand_gbps, 1)});
+  t.add_row({"satisfied",
+             util::Table::num(100.0 * sol.satisfied_ratio(), 1) + "%"});
+  t.add_row({"solve time (s)", util::Table::num(sol.solve_time_s, 3)});
+  t.add_row({"max link utilization",
+             util::Table::num(100.0 * check.max_link_utilization, 1) + "%"});
+  t.add_row({"constraints", check.ok ? "satisfied" : "VIOLATED"});
+  t.print(std::cout);
+  if (!check.ok) {
+    for (const auto& v : check.violations) std::cerr << "  " << v << "\n";
+  }
+  return check.ok ? 0 : 1;
+}
+
+int cmd_sync(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t endpoints = flag_u64(flags, "endpoints", 1000000);
+  ctrl::SyncCostModel model;
+  const auto td = model.top_down(endpoints);
+  const auto bu = model.bottom_up(endpoints);
+  util::Table t("TE-config sync resources @ " +
+                util::Table::with_commas(endpoints) + " endpoints");
+  t.header({"approach", "CPU cores", "memory (GB)", "DB shards"});
+  t.add_row({"top-down (persistent connections)",
+             util::Table::num(td.cpu_cores, 0),
+             util::Table::num(td.memory_gb, 1), "-"});
+  t.add_row({"bottom-up (MegaTE pull)", util::Table::num(bu.cpu_cores, 0),
+             util::Table::num(bu.memory_gb, 1),
+             util::Table::num(bu.db_shards)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::map<std::string, std::string> flags;
+  // `--gml` is a boolean flag: accept it without a value.
+  std::vector<char*> args;
+  for (int i = 2; i < argc; ++i) {
+    args.push_back(argv[i]);
+    if (std::strcmp(argv[i], "--gml") == 0) {
+      static char yes[] = "1";
+      args.push_back(yes);
+    }
+  }
+  if (!parse_flags(static_cast<int>(args.size()), args.data(), 0, flags)) {
+    return usage("malformed flags");
+  }
+  try {
+    if (cmd == "topo") return cmd_topo(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "solve") return cmd_solve(flags);
+    if (cmd == "sync") return cmd_sync(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage("unknown command");
+}
