@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_sync.dir/ablation_hybrid_sync.cpp.o"
+  "CMakeFiles/ablation_hybrid_sync.dir/ablation_hybrid_sync.cpp.o.d"
+  "ablation_hybrid_sync"
+  "ablation_hybrid_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_megate.dir/ablation_megate.cpp.o"
+  "CMakeFiles/ablation_megate.dir/ablation_megate.cpp.o.d"
+  "ablation_megate"
+  "ablation_megate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_megate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

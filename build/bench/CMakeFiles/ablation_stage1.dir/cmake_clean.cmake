@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stage1.dir/ablation_stage1.cpp.o"
+  "CMakeFiles/ablation_stage1.dir/ablation_stage1.cpp.o.d"
+  "ablation_stage1"
+  "ablation_stage1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stage1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_endpoint_cdf.dir/fig08_endpoint_cdf.cpp.o"
+  "CMakeFiles/fig08_endpoint_cdf.dir/fig08_endpoint_cdf.cpp.o.d"
+  "fig08_endpoint_cdf"
+  "fig08_endpoint_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_endpoint_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

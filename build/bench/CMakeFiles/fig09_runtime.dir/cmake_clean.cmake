@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_runtime.dir/fig09_runtime.cpp.o"
+  "CMakeFiles/fig09_runtime.dir/fig09_runtime.cpp.o.d"
+  "fig09_runtime"
+  "fig09_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

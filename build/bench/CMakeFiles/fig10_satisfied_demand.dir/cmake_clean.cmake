@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_satisfied_demand.dir/fig10_satisfied_demand.cpp.o"
+  "CMakeFiles/fig10_satisfied_demand.dir/fig10_satisfied_demand.cpp.o.d"
+  "fig10_satisfied_demand"
+  "fig10_satisfied_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_satisfied_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_failures.dir/fig12_failures.cpp.o"
+  "CMakeFiles/fig12_failures.dir/fig12_failures.cpp.o.d"
+  "fig12_failures"
+  "fig12_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cost.dir/fig17_cost.cpp.o"
+  "CMakeFiles/fig17_cost.dir/fig17_cost.cpp.o.d"
+  "fig17_cost"
+  "fig17_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

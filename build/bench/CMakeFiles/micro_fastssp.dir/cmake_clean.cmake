@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fastssp.dir/micro_fastssp.cpp.o"
+  "CMakeFiles/micro_fastssp.dir/micro_fastssp.cpp.o.d"
+  "micro_fastssp"
+  "micro_fastssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fastssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

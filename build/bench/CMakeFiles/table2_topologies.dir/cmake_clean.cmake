@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_topologies.dir/table2_topologies.cpp.o"
+  "CMakeFiles/table2_topologies.dir/table2_topologies.cpp.o.d"
+  "table2_topologies"
+  "table2_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_pipeline.dir/dataplane_pipeline.cpp.o"
+  "CMakeFiles/dataplane_pipeline.dir/dataplane_pipeline.cpp.o.d"
+  "dataplane_pipeline"
+  "dataplane_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

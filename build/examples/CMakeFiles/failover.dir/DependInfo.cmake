@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failover.cpp" "examples/CMakeFiles/failover.dir/failover.cpp.o" "gcc" "examples/CMakeFiles/failover.dir/failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/megate_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/megate_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/megate_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssp/CMakeFiles/megate_ssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/megate_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/megate_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/megate_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megate_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_scheduling.dir/qos_scheduling.cpp.o"
+  "CMakeFiles/qos_scheduling.dir/qos_scheduling.cpp.o.d"
+  "qos_scheduling"
+  "qos_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

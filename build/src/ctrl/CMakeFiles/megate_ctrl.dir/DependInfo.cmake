@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/agent.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/agent.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/agent.cpp.o.d"
+  "/root/repo/src/ctrl/connection_manager.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/connection_manager.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/connection_manager.cpp.o.d"
+  "/root/repo/src/ctrl/controller.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/controller.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/controller.cpp.o.d"
+  "/root/repo/src/ctrl/hybrid_sync.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/hybrid_sync.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/hybrid_sync.cpp.o.d"
+  "/root/repo/src/ctrl/kvstore.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/kvstore.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/kvstore.cpp.o.d"
+  "/root/repo/src/ctrl/sync_model.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/sync_model.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/sync_model.cpp.o.d"
+  "/root/repo/src/ctrl/telemetry.cpp" "src/ctrl/CMakeFiles/megate_ctrl.dir/telemetry.cpp.o" "gcc" "src/ctrl/CMakeFiles/megate_ctrl.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/megate_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/megate_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/megate_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/megate_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/megate_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssp/CMakeFiles/megate_ssp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

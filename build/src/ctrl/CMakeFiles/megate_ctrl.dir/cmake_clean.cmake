@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_ctrl.dir/agent.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/agent.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/connection_manager.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/connection_manager.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/hybrid_sync.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/hybrid_sync.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/kvstore.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/kvstore.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/sync_model.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/sync_model.cpp.o.d"
+  "CMakeFiles/megate_ctrl.dir/telemetry.cpp.o"
+  "CMakeFiles/megate_ctrl.dir/telemetry.cpp.o.d"
+  "libmegate_ctrl.a"
+  "libmegate_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/host_stack.cpp" "src/dataplane/CMakeFiles/megate_dataplane.dir/host_stack.cpp.o" "gcc" "src/dataplane/CMakeFiles/megate_dataplane.dir/host_stack.cpp.o.d"
+  "/root/repo/src/dataplane/packet.cpp" "src/dataplane/CMakeFiles/megate_dataplane.dir/packet.cpp.o" "gcc" "src/dataplane/CMakeFiles/megate_dataplane.dir/packet.cpp.o.d"
+  "/root/repo/src/dataplane/router.cpp" "src/dataplane/CMakeFiles/megate_dataplane.dir/router.cpp.o" "gcc" "src/dataplane/CMakeFiles/megate_dataplane.dir/router.cpp.o.d"
+  "/root/repo/src/dataplane/sr_header.cpp" "src/dataplane/CMakeFiles/megate_dataplane.dir/sr_header.cpp.o" "gcc" "src/dataplane/CMakeFiles/megate_dataplane.dir/sr_header.cpp.o.d"
+  "/root/repo/src/dataplane/vxlan.cpp" "src/dataplane/CMakeFiles/megate_dataplane.dir/vxlan.cpp.o" "gcc" "src/dataplane/CMakeFiles/megate_dataplane.dir/vxlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

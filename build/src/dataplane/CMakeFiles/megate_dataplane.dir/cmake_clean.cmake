@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_dataplane.dir/host_stack.cpp.o"
+  "CMakeFiles/megate_dataplane.dir/host_stack.cpp.o.d"
+  "CMakeFiles/megate_dataplane.dir/packet.cpp.o"
+  "CMakeFiles/megate_dataplane.dir/packet.cpp.o.d"
+  "CMakeFiles/megate_dataplane.dir/router.cpp.o"
+  "CMakeFiles/megate_dataplane.dir/router.cpp.o.d"
+  "CMakeFiles/megate_dataplane.dir/sr_header.cpp.o"
+  "CMakeFiles/megate_dataplane.dir/sr_header.cpp.o.d"
+  "CMakeFiles/megate_dataplane.dir/vxlan.cpp.o"
+  "CMakeFiles/megate_dataplane.dir/vxlan.cpp.o.d"
+  "libmegate_dataplane.a"
+  "libmegate_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_lp.dir/model.cpp.o"
+  "CMakeFiles/megate_lp.dir/model.cpp.o.d"
+  "CMakeFiles/megate_lp.dir/packing.cpp.o"
+  "CMakeFiles/megate_lp.dir/packing.cpp.o.d"
+  "CMakeFiles/megate_lp.dir/simplex.cpp.o"
+  "CMakeFiles/megate_lp.dir/simplex.cpp.o.d"
+  "libmegate_lp.a"
+  "libmegate_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_sim.dir/failure_sim.cpp.o"
+  "CMakeFiles/megate_sim.dir/failure_sim.cpp.o.d"
+  "CMakeFiles/megate_sim.dir/flow_sim.cpp.o"
+  "CMakeFiles/megate_sim.dir/flow_sim.cpp.o.d"
+  "CMakeFiles/megate_sim.dir/period_sim.cpp.o"
+  "CMakeFiles/megate_sim.dir/period_sim.cpp.o.d"
+  "CMakeFiles/megate_sim.dir/production.cpp.o"
+  "CMakeFiles/megate_sim.dir/production.cpp.o.d"
+  "libmegate_sim.a"
+  "libmegate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

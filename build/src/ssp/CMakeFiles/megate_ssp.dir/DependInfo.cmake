@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssp/fast_ssp.cpp" "src/ssp/CMakeFiles/megate_ssp.dir/fast_ssp.cpp.o" "gcc" "src/ssp/CMakeFiles/megate_ssp.dir/fast_ssp.cpp.o.d"
+  "/root/repo/src/ssp/subset_sum.cpp" "src/ssp/CMakeFiles/megate_ssp.dir/subset_sum.cpp.o" "gcc" "src/ssp/CMakeFiles/megate_ssp.dir/subset_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

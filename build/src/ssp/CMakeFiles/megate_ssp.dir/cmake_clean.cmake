@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_ssp.dir/fast_ssp.cpp.o"
+  "CMakeFiles/megate_ssp.dir/fast_ssp.cpp.o.d"
+  "CMakeFiles/megate_ssp.dir/subset_sum.cpp.o"
+  "CMakeFiles/megate_ssp.dir/subset_sum.cpp.o.d"
+  "libmegate_ssp.a"
+  "libmegate_ssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for megate_ssp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/checker.cpp" "src/te/CMakeFiles/megate_te.dir/checker.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/checker.cpp.o.d"
+  "/root/repo/src/te/lp_all.cpp" "src/te/CMakeFiles/megate_te.dir/lp_all.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/lp_all.cpp.o.d"
+  "/root/repo/src/te/megate_solver.cpp" "src/te/CMakeFiles/megate_te.dir/megate_solver.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/megate_solver.cpp.o.d"
+  "/root/repo/src/te/ncflow.cpp" "src/te/CMakeFiles/megate_te.dir/ncflow.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/ncflow.cpp.o.d"
+  "/root/repo/src/te/site_lp.cpp" "src/te/CMakeFiles/megate_te.dir/site_lp.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/site_lp.cpp.o.d"
+  "/root/repo/src/te/teal.cpp" "src/te/CMakeFiles/megate_te.dir/teal.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/teal.cpp.o.d"
+  "/root/repo/src/te/types.cpp" "src/te/CMakeFiles/megate_te.dir/types.cpp.o" "gcc" "src/te/CMakeFiles/megate_te.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/megate_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/megate_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/megate_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssp/CMakeFiles/megate_ssp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_te.dir/checker.cpp.o"
+  "CMakeFiles/megate_te.dir/checker.cpp.o.d"
+  "CMakeFiles/megate_te.dir/lp_all.cpp.o"
+  "CMakeFiles/megate_te.dir/lp_all.cpp.o.d"
+  "CMakeFiles/megate_te.dir/megate_solver.cpp.o"
+  "CMakeFiles/megate_te.dir/megate_solver.cpp.o.d"
+  "CMakeFiles/megate_te.dir/ncflow.cpp.o"
+  "CMakeFiles/megate_te.dir/ncflow.cpp.o.d"
+  "CMakeFiles/megate_te.dir/site_lp.cpp.o"
+  "CMakeFiles/megate_te.dir/site_lp.cpp.o.d"
+  "CMakeFiles/megate_te.dir/teal.cpp.o"
+  "CMakeFiles/megate_te.dir/teal.cpp.o.d"
+  "CMakeFiles/megate_te.dir/types.cpp.o"
+  "CMakeFiles/megate_te.dir/types.cpp.o.d"
+  "libmegate_te.a"
+  "libmegate_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmegate_te.a"
+)

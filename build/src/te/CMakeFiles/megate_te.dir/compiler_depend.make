@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for megate_te.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/endpoints.cpp" "src/tm/CMakeFiles/megate_tm.dir/endpoints.cpp.o" "gcc" "src/tm/CMakeFiles/megate_tm.dir/endpoints.cpp.o.d"
+  "/root/repo/src/tm/prediction.cpp" "src/tm/CMakeFiles/megate_tm.dir/prediction.cpp.o" "gcc" "src/tm/CMakeFiles/megate_tm.dir/prediction.cpp.o.d"
+  "/root/repo/src/tm/traffic.cpp" "src/tm/CMakeFiles/megate_tm.dir/traffic.cpp.o" "gcc" "src/tm/CMakeFiles/megate_tm.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/megate_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

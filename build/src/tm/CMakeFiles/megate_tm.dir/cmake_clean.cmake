@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_tm.dir/endpoints.cpp.o"
+  "CMakeFiles/megate_tm.dir/endpoints.cpp.o.d"
+  "CMakeFiles/megate_tm.dir/prediction.cpp.o"
+  "CMakeFiles/megate_tm.dir/prediction.cpp.o.d"
+  "CMakeFiles/megate_tm.dir/traffic.cpp.o"
+  "CMakeFiles/megate_tm.dir/traffic.cpp.o.d"
+  "libmegate_tm.a"
+  "libmegate_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/clustering.cpp" "src/topo/CMakeFiles/megate_topo.dir/clustering.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/clustering.cpp.o.d"
+  "/root/repo/src/topo/failures.cpp" "src/topo/CMakeFiles/megate_topo.dir/failures.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/failures.cpp.o.d"
+  "/root/repo/src/topo/format.cpp" "src/topo/CMakeFiles/megate_topo.dir/format.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/format.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/topo/CMakeFiles/megate_topo.dir/generators.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/generators.cpp.o.d"
+  "/root/repo/src/topo/gml.cpp" "src/topo/CMakeFiles/megate_topo.dir/gml.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/gml.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/megate_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/shortest_path.cpp" "src/topo/CMakeFiles/megate_topo.dir/shortest_path.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/topo/tunnels.cpp" "src/topo/CMakeFiles/megate_topo.dir/tunnels.cpp.o" "gcc" "src/topo/CMakeFiles/megate_topo.dir/tunnels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_topo.dir/clustering.cpp.o"
+  "CMakeFiles/megate_topo.dir/clustering.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/failures.cpp.o"
+  "CMakeFiles/megate_topo.dir/failures.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/format.cpp.o"
+  "CMakeFiles/megate_topo.dir/format.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/generators.cpp.o"
+  "CMakeFiles/megate_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/gml.cpp.o"
+  "CMakeFiles/megate_topo.dir/gml.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/graph.cpp.o"
+  "CMakeFiles/megate_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/shortest_path.cpp.o"
+  "CMakeFiles/megate_topo.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/megate_topo.dir/tunnels.cpp.o"
+  "CMakeFiles/megate_topo.dir/tunnels.cpp.o.d"
+  "libmegate_topo.a"
+  "libmegate_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

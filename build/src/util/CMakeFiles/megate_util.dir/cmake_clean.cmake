@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_util.dir/log.cpp.o"
+  "CMakeFiles/megate_util.dir/log.cpp.o.d"
+  "CMakeFiles/megate_util.dir/rng.cpp.o"
+  "CMakeFiles/megate_util.dir/rng.cpp.o.d"
+  "CMakeFiles/megate_util.dir/stats.cpp.o"
+  "CMakeFiles/megate_util.dir/stats.cpp.o.d"
+  "CMakeFiles/megate_util.dir/table.cpp.o"
+  "CMakeFiles/megate_util.dir/table.cpp.o.d"
+  "CMakeFiles/megate_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/megate_util.dir/thread_pool.cpp.o.d"
+  "libmegate_util.a"
+  "libmegate_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

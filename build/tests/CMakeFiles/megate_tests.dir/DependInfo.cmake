@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/megate_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/ctrl_test.cpp" "tests/CMakeFiles/megate_tests.dir/ctrl_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/ctrl_test.cpp.o.d"
+  "/root/repo/tests/dataplane_test.cpp" "tests/CMakeFiles/megate_tests.dir/dataplane_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/dataplane_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/megate_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/gml_test.cpp" "tests/CMakeFiles/megate_tests.dir/gml_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/gml_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/megate_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lp_test.cpp" "tests/CMakeFiles/megate_tests.dir/lp_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/lp_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/megate_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/megate_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/ssp_test.cpp" "tests/CMakeFiles/megate_tests.dir/ssp_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/ssp_test.cpp.o.d"
+  "/root/repo/tests/te_test.cpp" "tests/CMakeFiles/megate_tests.dir/te_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/te_test.cpp.o.d"
+  "/root/repo/tests/telemetry_test.cpp" "tests/CMakeFiles/megate_tests.dir/telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/telemetry_test.cpp.o.d"
+  "/root/repo/tests/tm_test.cpp" "tests/CMakeFiles/megate_tests.dir/tm_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/tm_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/megate_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/megate_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/megate_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/megate_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/megate_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/megate_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/megate_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssp/CMakeFiles/megate_ssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/megate_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/megate_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/megate_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megate_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megate_cli.dir/megate_cli.cpp.o"
+  "CMakeFiles/megate_cli.dir/megate_cli.cpp.o.d"
+  "megate_cli"
+  "megate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
