@@ -1,0 +1,96 @@
+// Chaos-availability bench (Fig. 12/16 companion): the closed control
+// loop — solver, controller, sharded TE-db, endpoint agents — driven by a
+// seeded FaultPlan at increasing fault intensity. For each intensity we
+// report the worst per-interval availability (share of the TE-admitted
+// demand whose installed source-routed path was fully up), the fall-back
+// and retry counter totals, convergence after the last fault, and the run's
+// deterministic fingerprint (the regression surface: same seed, same
+// build => same fingerprint).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "megate/fault/chaos.h"
+
+int main() {
+  using namespace megate;
+  bench::print_header(
+      "Chaos availability: control loop under injected faults",
+      "§7.4 / Fig. 12+16 mechanism — agents keep last-good routes through "
+      "shard crashes and re-sync within seconds; TE reroutes around link "
+      "failures in <1s, so availability degrades gracefully");
+
+  struct Level {
+    const char* name;
+    std::size_t shard_crashes;
+    std::size_t link_failures;
+    std::size_t pull_drop_windows;
+    std::size_t stale_windows;
+  };
+  const Level levels[] = {
+      {"calm", 0, 0, 0, 0},
+      {"mild", 1, 1, 1, 0},
+      {"rough", 2, 2, 2, 2},
+      {"storm", 4, 4, 3, 3},
+  };
+
+  util::Table t("availability vs fault intensity (25 intervals x 10s)");
+  t.header({"intensity", "fault events", "worst avail", "mean avail",
+            "fallbacks", "re-solves", "converged<=K", "violations",
+            "fingerprint"});
+
+  bool all_ok = true;
+  for (const Level& lvl : levels) {
+    fault::ChaosOptions opt;
+    opt.sites = 10;
+    opt.duplex_links = 16;
+    opt.endpoints_per_site = 3;
+    opt.intervals = 25;
+    opt.interval_s = 10.0;
+    opt.poll_interval_s = 3.0;
+    opt.plan.seed = 12;
+    opt.plan.horizon_s = 0.0;  // auto: intervals * interval_s
+    opt.plan.quiet_tail_s = 50.0;
+    opt.plan.shard_crashes = lvl.shard_crashes;
+    opt.plan.link_failures = lvl.link_failures;
+    opt.plan.pull_drop_windows = lvl.pull_drop_windows;
+    opt.plan.stale_windows = lvl.stale_windows;
+
+    const fault::ChaosReport r = fault::run_chaos(opt);
+    all_ok = all_ok && r.ok();
+
+    // Availability = demand actually carried / demand the TE solution
+    // admitted, so the metric isolates fault damage from admission
+    // control. Interval 0 is skipped: agents start cold there and the
+    // first sync is startup behaviour, not a fault.
+    double worst = 1.0;
+    double mean = 0.0;
+    std::size_t counted = 0;
+    for (const auto& s : r.intervals) {
+      if (s.interval == 0 || s.satisfied_ratio <= 0.0) continue;
+      const double avail =
+          std::min(1.0, s.routed_demand_ratio / s.satisfied_ratio);
+      worst = std::min(worst, avail);
+      mean += avail;
+      ++counted;
+    }
+    if (counted > 0) mean /= static_cast<double>(counted);
+
+    t.add_row({lvl.name, util::Table::num(r.event_log.size()),
+               util::Table::num(100.0 * worst, 2) + "%",
+               util::Table::num(100.0 * mean, 2) + "%",
+               util::Table::num(r.counters.fallbacks_last_good),
+               util::Table::num(r.counters.publishes),
+               r.converged_within_k ? "yes" : "NO",
+               util::Table::num(r.violations.size()),
+               std::to_string(r.fingerprint)});
+  }
+  t.print(std::cout);
+  std::cout << "\nMechanism: a down shard refuses pulls, so agents keep the "
+               "last-good config (availability dips only where a failed "
+               "link crossed an installed path before the <1s re-solve); "
+               "after the last fault every agent re-syncs within K "
+               "intervals.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI entry point. Three stages:
+#
+#   1. default build  + the full ctest suite
+#   2. ASan+UBSan build of megate_tests, running the fault-injection,
+#      property, differential and thread-pool suites
+#   3. TSan build, running the concurrency-sensitive suites (KvStore,
+#      ThreadPool, agents)
+#
+# Sanitized stages build only the test binary to keep CI time sane.
+# Stages can be selected: ./ci.sh [default|asan|tsan|all] (default: all).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+run_default() {
+  cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure
+}
+
+# The suites introduced by the fault-injection PR, plus everything that
+# exercises the hook seams. UBSan traps (fno-sanitize-recover) so any hit
+# fails the run.
+ASAN_FILTER='FaultPlanTest.*:KvStoreFaultTest.*:AgentFaultTest.*'
+ASAN_FILTER+=':ConnectionManagerFaultTest.*:FaultInjectorTest.*'
+ASAN_FILTER+=':ChaosTest.*:PeriodSimFaultTest.*:HybridSyncFaultTest.*'
+ASAN_FILTER+=':PropertyTest.*:Sweep/FastSspDifferential.*'
+ASAN_FILTER+=':ThreadPoolHardening.*'
+
+run_asan() {
+  cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMEGATE_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j"$JOBS" --target megate_tests
+  ./build-asan/tests/megate_tests --gtest_filter="$ASAN_FILTER"
+}
+
+# Suites with real cross-thread traffic: the sharded KV store under
+# concurrent readers/writers and the thread pool under multi-producer
+# submit stress.
+TSAN_FILTER='KvStore.*:ThreadPool.*:ThreadPoolHardening.*:Agent.*'
+
+run_tsan() {
+  cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMEGATE_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target megate_tests
+  ./build-tsan/tests/megate_tests --gtest_filter="$TSAN_FILTER"
+}
+
+case "$STAGE" in
+  default) run_default ;;
+  asan)    run_asan ;;
+  tsan)    run_tsan ;;
+  all)     run_default; run_asan; run_tsan ;;
+  *) echo "usage: $0 [default|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "ci.sh: stage '$STAGE' passed"

@@ -26,7 +26,9 @@ EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
       next_poll_s_(poll_phase(instance_id,
                               options.spread_interval_s > 0.0
                                   ? options.spread_interval_s
-                                  : options.poll_interval_s)) {}
+                                  : options.poll_interval_s)) {
+  options_.retry_backoff_s = std::max(options_.retry_backoff_s, 1e-3);
+}
 
 const std::vector<std::uint32_t>& EndpointAgent::hops_for(
     std::uint32_t dst_site) const {
@@ -39,33 +41,74 @@ const std::vector<std::uint32_t>& EndpointAgent::hops_for(
   return wildcard != nullptr ? wildcard->hops : kEmpty;
 }
 
-void EndpointAgent::tick(double now_s) {
-  while (now_s >= next_poll_s_) {
-    ++polls_;
-    const Version v = store_->version();
-    if (v != applied_) {
-      // Version changed: pull our entry with a short connection.
-      if (auto entry = store_->get(path_key(instance_id_))) {
-        // Uninstall routes that disappeared, then install the new table.
-        std::vector<RouteEntry> fresh = decode_routes(*entry);
-        if (stack_ != nullptr) {
-          for (const RouteEntry& old : routes_) {
-            const bool kept = std::any_of(
-                fresh.begin(), fresh.end(), [&](const RouteEntry& r) {
-                  return r.dst_site == old.dst_site;
-                });
-            if (!kept) stack_->install_route(instance_id_, old.dst_site, {});
-          }
-          for (const RouteEntry& r : fresh) {
-            stack_->install_route(instance_id_, r.dst_site, r.hops);
-          }
-        }
-        routes_ = std::move(fresh);
+bool EndpointAgent::try_pull() {
+  ControlCounters* c = options_.counters;
+  if (options_.fault_hooks != nullptr &&
+      options_.fault_hooks->drop_pull(instance_id_)) {
+    if (c != nullptr) ++c->pull_drops;
+    return false;
+  }
+  std::string entry;
+  const GetStatus st = store_->try_get(path_key(instance_id_), &entry);
+  if (st == GetStatus::kUnavailable) {
+    if (c != nullptr) ++c->shard_unavailable;
+    return false;
+  }
+  if (st == GetStatus::kOk) {
+    // Uninstall routes that disappeared, then install the new table.
+    std::vector<RouteEntry> fresh = decode_routes(entry);
+    if (stack_ != nullptr) {
+      for (const RouteEntry& old : routes_) {
+        const bool kept = std::any_of(
+            fresh.begin(), fresh.end(), [&](const RouteEntry& r) {
+              return r.dst_site == old.dst_site;
+            });
+        if (!kept) stack_->install_route(instance_id_, old.dst_site, {});
       }
-      applied_ = v;
-      last_apply_s_ = next_poll_s_;
+      for (const RouteEntry& r : fresh) {
+        stack_->install_route(instance_id_, r.dst_site, r.hops);
+      }
     }
-    next_poll_s_ += options_.poll_interval_s;
+    routes_ = std::move(fresh);
+    if (c != nullptr) ++c->pulls;
+  }
+  // kMiss: no entry for this instance (no assigned flows) — a valid,
+  // applied state; the instance falls back to five-tuple hashing.
+  return true;
+}
+
+void EndpointAgent::tick(double now_s) {
+  ControlCounters* c = options_.counters;
+  while (now_s >= next_poll_s_) {
+    const double poll_time = next_poll_s_;
+    ++polls_;
+    if (c != nullptr) ++c->polls;
+    const Version actual = store_->version();
+    const Version v =
+        options_.fault_hooks != nullptr
+            ? options_.fault_hooks->observed_version(instance_id_, actual)
+            : actual;
+    if (v != applied_) {
+      if (try_pull()) {
+        applied_ = v;
+        last_apply_s_ = poll_time;
+        failed_pulls_ = 0;
+      } else {
+        // Keep the last-good routes (traffic stays on the previous config)
+        // and retry after a short backoff instead of a full poll interval.
+        ++failed_pulls_;
+        if (c != nullptr) ++c->fallbacks_last_good;
+        if (failed_pulls_ <= options_.max_pull_retries) {
+          if (c != nullptr) ++c->pull_retries;
+          next_poll_s_ = poll_time + options_.retry_backoff_s;
+          continue;
+        }
+        // Retry budget exhausted: return to the normal cadence and try
+        // again next interval (the outage is clearly longer-lived).
+        failed_pulls_ = 0;
+      }
+    }
+    next_poll_s_ = poll_time + options_.poll_interval_s;
   }
 }
 

@@ -1,16 +1,50 @@
 #include "megate/ctrl/connection_manager.h"
 
+#include <algorithm>
+
 namespace megate::ctrl {
+
+void ConnectionManager::drop_connections(std::uint64_t count) {
+  count = std::min(count, connections_);
+  if (count == 0) return;
+  connections_ -= count;
+  drops_ += count;
+  reconnect_queue_.emplace_back(sim_time_s_ + options_.reconnect_delay_s,
+                                count);
+}
+
+std::uint64_t ConnectionManager::pending_reconnects() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [due, count] : reconnect_queue_) total += count;
+  return total;
+}
 
 void ConnectionManager::run(double seconds) {
   // Each connection produces heartbeat_interval-spaced keepalives; over a
-  // window the expected count is time/interval per connection.
-  const double beats_per_conn = seconds / options_.heartbeat_interval_s;
-  const double beats =
-      beats_per_conn * static_cast<double>(connections_);
-  heartbeats_ += static_cast<std::uint64_t>(beats);
-  busy_s_ += beats * options_.cpu_seconds_per_heartbeat;
-  sim_time_s_ += seconds;
+  // window the expected count is time/interval per connection. The window
+  // is processed piecewise: each reconnect batch due inside it splits the
+  // window, so re-established connections only beat for their remainder.
+  double now = sim_time_s_;
+  const double end = sim_time_s_ + seconds;
+  auto account = [&](double until) {
+    const double span = until - now;
+    if (span <= 0.0) return;
+    const double beats = span / options_.heartbeat_interval_s *
+                         static_cast<double>(connections_);
+    heartbeats_ += static_cast<std::uint64_t>(beats);
+    busy_s_ += beats * options_.cpu_seconds_per_heartbeat;
+    now = until;
+  };
+  while (!reconnect_queue_.empty() && reconnect_queue_.front().first <= end) {
+    const auto [due, count] = reconnect_queue_.front();
+    reconnect_queue_.pop_front();
+    account(std::max(due, now));
+    connections_ += count;
+    reconnects_ += count;
+    busy_s_ += static_cast<double>(count) * options_.cpu_seconds_per_reconnect;
+  }
+  account(end);
+  sim_time_s_ = end;
 }
 
 void ConnectionManager::push_config_all() {

@@ -14,6 +14,9 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
       options.heavy_traffic_share > 1.0) {
     throw std::invalid_argument("heavy_traffic_share must be in [0, 1]");
   }
+  if (options.pull_drop_rate < 0.0 || options.pull_drop_rate >= 1.0) {
+    throw std::invalid_argument("pull_drop_rate must be in [0, 1)");
+  }
   HybridSyncPlan plan;
 
   // Aggregate traffic per source instance.
@@ -59,14 +62,18 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
   plan.resources.db_shards = pulled.db_shards;
 
   // Staleness: pushed traffic updates in push_latency_s; polling traffic
-  // in poll_interval/2 on average, poll_interval worst case.
-  const double poll_mean = options.poll_interval_s / 2.0;
+  // in poll_interval/2 on average, poll_interval worst case. Dropped pulls
+  // stretch the polling tail by the expected attempt count 1/(1-p) —
+  // geometric retries, each a poll interval apart in the worst case.
+  const double retry_stretch = 1.0 / (1.0 - options.pull_drop_rate);
+  const double poll_mean = options.poll_interval_s / 2.0 * retry_stretch;
   plan.mean_staleness_s =
       plan.covered_traffic_share * options.push_latency_s +
       (1.0 - plan.covered_traffic_share) * poll_mean;
-  plan.worst_staleness_s = plan.polling_instances > 0
-                               ? options.poll_interval_s
-                               : options.push_latency_s;
+  plan.worst_staleness_s =
+      plan.polling_instances > 0
+          ? options.poll_interval_s * retry_stretch
+          : options.push_latency_s;
   return plan;
 }
 

@@ -7,12 +7,21 @@
 // divided over the spread interval (§3.2: "each part initiates queries
 // asynchronously during a specific time period, e.g. 10 seconds") — an
 // agent's poll phase is a deterministic hash of its id.
+//
+// Failure behaviour (the eventual-consistency half of §3.2): when a pull
+// is dropped in flight or the key's shard is down, the agent keeps its
+// last-good route table — traffic keeps flowing on the previous config —
+// and retries after a short backoff instead of waiting a full poll
+// interval. After max_pull_retries consecutive failures it returns to the
+// normal poll cadence (the database will still be there next interval).
 
 #include <cstdint>
 #include <vector>
 
 #include "megate/ctrl/controller.h"
+#include "megate/ctrl/fault_hooks.h"
 #include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/telemetry.h"
 #include "megate/dataplane/host_stack.h"
 
 namespace megate::ctrl {
@@ -22,6 +31,15 @@ struct AgentOptions {
   /// Fleet phase-spreading window; 0 (default) means "one poll interval",
   /// which spreads the fleet's queries evenly over the polling period.
   double spread_interval_s = 0.0;
+  /// Consecutive fast retries after a failed pull before falling back to
+  /// the normal poll cadence.
+  std::uint32_t max_pull_retries = 3;
+  /// Delay before a retry poll (must be > 0; clamped to 1 ms).
+  double retry_backoff_s = 1.0;
+  /// Failure-injection seams; null = production behaviour (no faults).
+  FaultHooks* fault_hooks = nullptr;
+  /// Shared health counters; null = don't count.
+  ControlCounters* counters = nullptr;
 };
 
 class EndpointAgent {
@@ -37,13 +55,20 @@ class EndpointAgent {
   Version applied_version() const noexcept { return applied_; }
   /// Simulation time the latest config was applied (-1 if never).
   double last_apply_time_s() const noexcept { return last_apply_s_; }
-  /// The route table pulled from the TE database.
+  /// The route table pulled from the TE database. During a pull failure
+  /// this is the last-good table, never a torn state.
   const std::vector<RouteEntry>& routes() const noexcept { return routes_; }
   /// Hops towards `dst_site` (exact match, then wildcard; empty if none).
   const std::vector<std::uint32_t>& hops_for(std::uint32_t dst_site) const;
   std::uint64_t polls() const noexcept { return polls_; }
+  /// Consecutive failed pulls since the last success (0 when healthy).
+  std::uint32_t failed_pulls() const noexcept { return failed_pulls_; }
 
  private:
+  /// Attempts one pull of this agent's route entry; returns false when the
+  /// pull was dropped or the shard was unavailable.
+  bool try_pull();
+
   std::uint64_t instance_id_;
   KvStore* store_;
   dataplane::HostStack* stack_;
@@ -53,6 +78,7 @@ class EndpointAgent {
   double last_apply_s_ = -1.0;
   std::vector<RouteEntry> routes_;
   std::uint64_t polls_ = 0;
+  std::uint32_t failed_pulls_ = 0;
 };
 
 /// Convergence experiment: `n_agents` agents polling `store`; a publish

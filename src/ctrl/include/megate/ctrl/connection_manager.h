@@ -5,9 +5,15 @@
 // without needing 6,000 real sockets in the CI container: connection
 // bookkeeping, heartbeat processing and config pushes are all accounted
 // in calibrated work units (one unit = the CPU cost of one heartbeat).
+//
+// Connection drops (fault injection): drop_connections severs live
+// connections; each reconnects after reconnect_delay_s at a calibrated
+// handshake cost. While dropped, the affected endpoints receive no pushes
+// — the top-down analogue of the pull loop's stale window.
 
 #include <cstdint>
-#include <vector>
+#include <deque>
+#include <utility>
 
 namespace megate::ctrl {
 
@@ -19,6 +25,10 @@ struct ConnectionManagerOptions {
   /// Kernel + user memory per connection; 750 MB / 6000 (Fig. 13).
   double memory_kb_per_conn = 750.0 * 1024.0 / 6000.0;
   double cpu_seconds_per_push = 2.5e-4;  ///< config push is heavier
+  /// TCP + TLS handshake cost when a dropped connection re-establishes.
+  double cpu_seconds_per_reconnect = 1e-3;
+  /// Time a dropped endpoint waits before reconnecting.
+  double reconnect_delay_s = 1.0;
 };
 
 class ConnectionManager {
@@ -32,16 +42,25 @@ class ConnectionManager {
     connections_ = count > connections_ ? 0 : connections_ - count;
   }
 
-  /// Advances the simulation by `seconds`, processing heartbeats.
+  /// Severs `count` live connections (peer crash, middlebox reset). They
+  /// re-establish reconnect_delay_s later, during a subsequent run().
+  void drop_connections(std::uint64_t count);
+
+  /// Advances the simulation by `seconds`, processing heartbeats and any
+  /// reconnects that come due within the window.
   void run(double seconds);
 
-  /// Pushes a config to every connection (a TE update).
+  /// Pushes a config to every live connection (a TE update).
   void push_config_all();
 
   std::uint64_t connections() const noexcept { return connections_; }
   std::uint64_t heartbeats_processed() const noexcept {
     return heartbeats_;
   }
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+  /// Connections currently waiting out the reconnect delay.
+  std::uint64_t pending_reconnects() const noexcept;
   /// Mean CPU utilization of one core over the simulated time (can exceed
   /// 1.0: the single-threaded event loop is oversubscribed).
   double cpu_utilization() const noexcept;
@@ -52,6 +71,10 @@ class ConnectionManager {
   ConnectionManagerOptions options_;
   std::uint64_t connections_ = 0;
   std::uint64_t heartbeats_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t reconnects_ = 0;
+  /// (due time, count) batches of dropped connections, due-time ascending.
+  std::deque<std::pair<double, std::uint64_t>> reconnect_queue_;
   double busy_s_ = 0.0;
   double sim_time_s_ = 0.0;
 };

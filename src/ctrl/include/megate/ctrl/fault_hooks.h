@@ -1,0 +1,40 @@
+#pragma once
+// Injectable failure points of the bottom-up control loop.
+//
+// The control plane is instrumented at the seams the paper's eventual-
+// consistency argument (§3.2, §7.4) depends on: the version query an agent
+// issues every poll interval and the short-lived pull connection that
+// follows it. A FaultHooks implementation can serve stale versions (a
+// replica lagging behind the primary) or drop pulls in flight (connection
+// resets, timeouts). The production code path pays one virtual call per
+// poll only when hooks are installed; the default is a null pointer.
+//
+// The concrete implementation driven by a seeded FaultPlan lives in
+// megate::fault (src/fault/); keeping the interface here avoids a
+// dependency cycle between the ctrl and fault libraries.
+
+#include <cstdint>
+
+namespace megate::ctrl {
+
+using Version = std::uint64_t;
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Called when an agent is about to pull its route entry. Returning true
+  /// drops the pull in flight (the agent sees a timeout and must retry or
+  /// keep its last-good routes).
+  virtual bool drop_pull(std::uint64_t /*instance_id*/) { return false; }
+
+  /// Filters the version an agent's cheap version query observes. A lagging
+  /// replica returns a value smaller than `actual`; the agent then believes
+  /// it is up to date and converges only once the window ends.
+  virtual Version observed_version(std::uint64_t /*instance_id*/,
+                                   Version actual) {
+    return actual;
+  }
+};
+
+}  // namespace megate::ctrl

@@ -8,6 +8,14 @@
 // Thread-safe: one mutex per shard plus an atomic version counter, so the
 // "160,000 concurrent queries per second using two shards" claim (§3.2)
 // can be benchmarked honestly (bench/micro_kvstore).
+//
+// Shard availability: for the fault-injection experiments a shard can be
+// marked down (set_shard_up). A down shard refuses reads (try_get returns
+// kUnavailable) and buffers writes into a redo log that is replayed, in
+// order, when the shard recovers — the catch-up behaviour of a replicated
+// store. The version counter itself stays available (in production it is
+// served by a tiny front cache, not the shards), so readers can always
+// tell that an update exists even while its payload shard is down.
 
 #include <atomic>
 #include <cstdint>
@@ -16,11 +24,19 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace megate::ctrl {
 
 using Version = std::uint64_t;
+
+/// Outcome of a shard-aware read.
+enum class GetStatus : std::uint8_t {
+  kOk,           ///< key found, value filled in
+  kMiss,         ///< shard up, key absent
+  kUnavailable,  ///< shard down: the caller must retry later
+};
 
 class KvStore {
  public:
@@ -30,10 +46,13 @@ class KvStore {
   KvStore& operator=(const KvStore&) = delete;
 
   /// Writes one key (no version bump; use publish for config pushes).
+  /// Writes to a down shard are buffered and applied on recovery.
   void put(const std::string& key, std::string value);
 
   /// Atomically writes a batch and bumps the config version — what the
-  /// controller does each TE interval or on failure (§3.2).
+  /// controller does each TE interval or on failure (§3.2). Keys landing
+  /// on a down shard are buffered; the version still advances (eventual
+  /// consistency: readers learn an update exists and retry the payload).
   Version publish(const std::vector<std::pair<std::string, std::string>>&
                       batch);
 
@@ -42,8 +61,19 @@ class KvStore {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Shard-aware read; distinguishes a missing key from a down shard.
+  GetStatus try_get(const std::string& key, std::string* value) const;
+
+  /// Legacy read: a down shard is indistinguishable from a missing key.
   std::optional<std::string> get(const std::string& key) const;
   bool erase(const std::string& key);
+
+  /// Marks one shard down/up. Recovery replays the shard's buffered
+  /// writes in arrival order before new reads are served.
+  void set_shard_up(std::size_t shard, bool up);
+  bool shard_up(std::size_t shard) const;
+  /// Shard a key lives on (stable hash; for tests and fault planning).
+  std::size_t shard_index(const std::string& key) const noexcept;
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
   std::size_t size() const;
@@ -52,11 +82,18 @@ class KvStore {
   std::uint64_t query_count() const noexcept {
     return queries_.load(std::memory_order_relaxed);
   }
+  /// Reads refused because the key's shard was down.
+  std::uint64_t unavailable_count() const noexcept {
+    return unavailable_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, std::string> data;
+    bool up = true;
+    /// Redo log of writes that arrived while down, replayed on recovery.
+    std::vector<std::pair<std::string, std::string>> pending;
   };
   Shard& shard_for(const std::string& key);
   const Shard& shard_for(const std::string& key) const;
@@ -64,6 +101,7 @@ class KvStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<Version> version_{0};
   mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> unavailable_{0};
 };
 
 }  // namespace megate::ctrl

@@ -19,6 +19,23 @@
 
 namespace megate::ctrl {
 
+/// Health counters of the bottom-up control loop, aggregated across every
+/// agent that shares a pointer to one instance (AgentOptions::counters)
+/// plus the fault injector. Single-writer by design: the chaos/simulation
+/// loops that populate these are single-threaded, so plain integers keep
+/// the hot poll path free of atomics. The chaos bench and `megate_cli
+/// chaos` surface them next to the availability numbers.
+struct ControlCounters {
+  std::uint64_t polls = 0;                ///< version queries issued
+  std::uint64_t pulls = 0;                ///< route entries pulled OK
+  std::uint64_t pull_drops = 0;           ///< pulls dropped in flight
+  std::uint64_t pull_retries = 0;         ///< backoff retries scheduled
+  std::uint64_t shard_unavailable = 0;    ///< reads refused by a down shard
+  std::uint64_t stale_version_reads = 0;  ///< version queries served stale
+  std::uint64_t fallbacks_last_good = 0;  ///< kept last-good routes on error
+  std::uint64_t publishes = 0;            ///< controller config publishes
+};
+
 struct TelemetryOptions {
   /// TE period length; volume (bytes) over this window becomes Gbps.
   double period_s = 300.0;

@@ -14,17 +14,25 @@ KvStore::KvStore(std::size_t shards) {
   }
 }
 
+std::size_t KvStore::shard_index(const std::string& key) const noexcept {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
 KvStore::Shard& KvStore::shard_for(const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  return *shards_[shard_index(key)];
 }
 
 const KvStore::Shard& KvStore::shard_for(const std::string& key) const {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  return *shards_[shard_index(key)];
 }
 
 void KvStore::put(const std::string& key, std::string value) {
   Shard& s = shard_for(key);
   std::lock_guard lock(s.mu);
+  if (!s.up) {
+    s.pending.emplace_back(key, std::move(value));
+    return;
+  }
   s.data[key] = std::move(value);
 }
 
@@ -33,24 +41,63 @@ Version KvStore::publish(
   // Write all keys first, then bump the version: a reader that sees the
   // new version is guaranteed to find the new values (release/acquire on
   // version_ orders the writes). Readers racing mid-batch simply keep the
-  // old version — eventual consistency, exactly the §3.2 contract.
+  // old version — eventual consistency, exactly the §3.2 contract. Down
+  // shards buffer their share of the batch; those keys become readable
+  // only after recovery, and readers retry until then.
   for (const auto& [key, value] : batch) put(key, value);
   return version_.fetch_add(1, std::memory_order_release) + 1;
 }
 
-std::optional<std::string> KvStore::get(const std::string& key) const {
+GetStatus KvStore::try_get(const std::string& key, std::string* value) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   const Shard& s = shard_for(key);
   std::lock_guard lock(s.mu);
+  if (!s.up) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    return GetStatus::kUnavailable;
+  }
   auto it = s.data.find(key);
-  if (it == s.data.end()) return std::nullopt;
-  return it->second;
+  if (it == s.data.end()) return GetStatus::kMiss;
+  if (value != nullptr) *value = it->second;
+  return GetStatus::kOk;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  std::string value;
+  if (try_get(key, &value) != GetStatus::kOk) return std::nullopt;
+  return value;
 }
 
 bool KvStore::erase(const std::string& key) {
   Shard& s = shard_for(key);
   std::lock_guard lock(s.mu);
+  if (!s.up) return false;
   return s.data.erase(key) > 0;
+}
+
+void KvStore::set_shard_up(std::size_t shard, bool up) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("shard index out of range");
+  }
+  Shard& s = *shards_[shard];
+  std::lock_guard lock(s.mu);
+  if (s.up == up) return;
+  s.up = up;
+  if (up) {
+    // Recovery: replay the redo log in arrival order, newest-last so the
+    // last write of a key wins (same as if the shard had been up).
+    for (auto& [key, value] : s.pending) s.data[key] = std::move(value);
+    s.pending.clear();
+  }
+}
+
+bool KvStore::shard_up(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("shard index out of range");
+  }
+  const Shard& s = *shards_[shard];
+  std::lock_guard lock(s.mu);
+  return s.up;
 }
 
 std::size_t KvStore::size() const {

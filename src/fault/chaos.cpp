@@ -1,0 +1,300 @@
+#include "megate/fault/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "megate/ctrl/agent.h"
+#include "megate/ctrl/controller.h"
+#include "megate/ctrl/kvstore.h"
+#include "megate/fault/injector.h"
+#include "megate/te/checker.h"
+#include "megate/te/megate_solver.h"
+#include "megate/tm/traffic.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/tunnels.h"
+
+namespace megate::fault {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::string time_tag(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs ", t);
+  return buf;
+}
+
+/// Data-plane view of the agents' installed tables: per-link usage of the
+/// demand whose full source-routed path is currently up. Returns the max
+/// utilization and fills `routed_gbps` with the demand actually carried.
+double installed_utilization(
+    const topo::Graph& graph, const tm::TrafficMatrix& traffic,
+    const std::unordered_map<std::uint64_t, const ctrl::EndpointAgent*>&
+        agents,
+    double* routed_gbps) {
+  std::vector<double> usage(graph.num_links(), 0.0);
+  double routed = 0.0;
+  for (const auto& [pair, flows] : traffic.pairs()) {
+    for (const tm::EndpointDemand& f : flows) {
+      auto it = agents.find(f.src);
+      if (it == agents.end()) continue;
+      const auto& hops = it->second->hops_for(pair.dst);
+      if (hops.empty()) continue;  // unassigned: falls back to hashing
+      // Walk src site -> hops[0] -> ... resolving each step to an up link.
+      std::vector<topo::EdgeId> path;
+      path.reserve(hops.size());
+      topo::NodeId u = pair.src;
+      bool alive = true;
+      for (std::uint32_t h : hops) {
+        topo::EdgeId found = topo::kInvalidEdge;
+        for (topo::EdgeId e : graph.out_edges(u)) {
+          if (graph.link(e).dst == h && graph.link(e).up) {
+            found = e;
+            break;
+          }
+        }
+        if (found == topo::kInvalidEdge) {
+          alive = false;
+          break;
+        }
+        path.push_back(found);
+        u = h;
+      }
+      if (!alive) continue;  // blackholed until the agent re-syncs
+      routed += f.demand_gbps;
+      for (topo::EdgeId e : path) usage[e] += f.demand_gbps;
+    }
+  }
+  double max_util = 0.0;
+  for (topo::EdgeId e = 0; e < graph.num_links(); ++e) {
+    const topo::Link& l = graph.link(e);
+    if (l.up && l.capacity_gbps > 0.0) {
+      max_util = std::max(max_util, usage[e] / l.capacity_gbps);
+    }
+  }
+  if (routed_gbps != nullptr) *routed_gbps = routed;
+  return max_util;
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& options) {
+  if (options.solve_headroom <= 0.0 || options.solve_headroom > 1.0) {
+    throw std::invalid_argument("solve_headroom must be in (0, 1]");
+  }
+  ChaosReport report;
+
+  // --- deterministic scenario --------------------------------------------
+  topo::GeneratorOptions gopt;
+  gopt.seed = options.scenario_seed;
+  topo::Graph graph =
+      topo::make_isp_like(options.sites, options.duplex_links, gopt);
+  const topo::TunnelSet pristine = topo::build_tunnels(graph);
+  tm::EndpointLayout layout(std::vector<std::uint32_t>(
+      graph.num_nodes(), options.endpoints_per_site));
+  tm::TrafficOptions tmo;
+  tmo.flows_per_endpoint = 1.5;
+  tmo.target_total_gbps =
+      tm::total_link_capacity_gbps(graph) * options.load;
+  const tm::TrafficMatrix traffic =
+      tm::generate_traffic(graph, layout, tmo, options.scenario_seed + 1);
+  const double total_demand = traffic.total_demand_gbps();
+
+  // The controller plans against derated capacities (solve_headroom);
+  // the injector and the installed-routes check see real capacities.
+  topo::Graph solver_graph = graph;
+  for (topo::EdgeId e = 0; e < solver_graph.num_links(); ++e) {
+    solver_graph.link(e).capacity_gbps *= options.solve_headroom;
+  }
+
+  // --- control plane ------------------------------------------------------
+  ctrl::KvStore kv(options.kv_shards);
+  ctrl::Controller controller(&kv);
+
+  FaultPlanOptions popt = options.plan;
+  if (popt.horizon_s <= 0.0) {
+    popt.horizon_s =
+        static_cast<double>(options.intervals) * options.interval_s;
+  }
+  const FaultPlan plan = FaultPlan::generate(
+      popt, options.kv_shards, graph.num_links() / 2);
+  report.last_fault_end_s = plan.last_fault_end_s();
+
+  FaultInjector::Bindings bind;
+  bind.store = &kv;
+  bind.graph = &graph;
+  bind.counters = &report.counters;
+  FaultInjector injector(plan, bind);
+
+  // One agent per distinct source instance, id-ascending for determinism.
+  std::vector<std::uint64_t> instance_ids;
+  for (const auto& [pair, flows] : traffic.pairs()) {
+    for (const tm::EndpointDemand& f : flows) instance_ids.push_back(f.src);
+  }
+  std::sort(instance_ids.begin(), instance_ids.end());
+  instance_ids.erase(
+      std::unique(instance_ids.begin(), instance_ids.end()),
+      instance_ids.end());
+
+  ctrl::AgentOptions aopt;
+  aopt.poll_interval_s = options.poll_interval_s;
+  aopt.max_pull_retries = options.max_pull_retries;
+  aopt.retry_backoff_s = options.retry_backoff_s;
+  aopt.fault_hooks = &injector;
+  aopt.counters = &report.counters;
+  std::vector<ctrl::EndpointAgent> agents;
+  agents.reserve(instance_ids.size());
+  std::unordered_map<std::uint64_t, const ctrl::EndpointAgent*> by_id;
+  for (std::uint64_t id : instance_ids) {
+    agents.emplace_back(id, &kv, nullptr, aopt);
+  }
+  for (const auto& a : agents) by_id[a.instance_id()] = &a;
+
+  te::MegaTeSolver solver;
+  double last_satisfied = 0.0;
+  double last_solution_util = 0.0;
+
+  auto solve_and_publish = [&](double now_s, IntervalStats& stats) {
+    // Mirror the real graph's link states onto the derated solver view.
+    for (topo::EdgeId e = 0; e < graph.num_links(); ++e) {
+      solver_graph.set_link_state(e, graph.link(e).up);
+    }
+    // Rebuild dead tunnels against the current topology; surviving tunnel
+    // identities stay stable so unaffected routes do not churn.
+    topo::TunnelSet repaired = pristine;
+    topo::repair_tunnels(solver_graph, repaired);
+    te::TeProblem problem;
+    problem.graph = &solver_graph;
+    problem.tunnels = &repaired;
+    problem.traffic = &traffic;
+    const te::TeSolution sol = solver.solve(problem);
+    te::CheckOptions copt;
+    copt.capacity_tolerance = options.capacity_tolerance;
+    copt.require_flow_assignment = true;
+    const te::CheckResult check = te::check_solution(problem, sol, copt);
+    for (const std::string& v : check.violations) {
+      report.violations.push_back(time_tag(now_s) + "check_solution: " + v);
+    }
+    controller.publish_solution(problem, sol);
+    ++report.counters.publishes;
+    ++stats.resolves;
+    last_satisfied = sol.satisfied_ratio();
+    last_solution_util = check.max_link_utilization;
+  };
+
+  // --- the chaos loop -----------------------------------------------------
+  const double overload_limit = 1.0 + options.capacity_tolerance;
+  for (std::size_t interval = 0; interval < options.intervals; ++interval) {
+    const double t0 =
+        static_cast<double>(interval) * options.interval_s;
+    IntervalStats stats;
+    stats.interval = interval;
+    stats.start_s = t0;
+    stats.agents_total = agents.size();
+
+    injector.advance_to(t0);
+    (void)injector.take_topology_changed();  // this solve sees the change
+    solve_and_publish(t0, stats);
+
+    double routed_sum = 0.0;
+    std::size_t ticks = 0;
+    for (double t = t0 + options.tick_s;
+         t <= t0 + options.interval_s + 1e-9; t += options.tick_s) {
+      injector.advance_to(t);
+      if (options.react_to_failures && injector.take_topology_changed()) {
+        solve_and_publish(t, stats);
+      }
+      for (auto& a : agents) a.tick(t);
+
+      double routed = 0.0;
+      const double util =
+          installed_utilization(graph, traffic, by_id, &routed);
+      stats.installed_max_utilization =
+          std::max(stats.installed_max_utilization, util);
+      if (util > overload_limit) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "installed routes overload a link: util=%.4f", util);
+        report.violations.push_back(time_tag(t) + msg);
+      }
+      routed_sum += total_demand > 0.0 ? routed / total_demand : 0.0;
+      ++ticks;
+    }
+    stats.routed_demand_ratio =
+        ticks > 0 ? routed_sum / static_cast<double>(ticks) : 0.0;
+    stats.version = kv.version();
+    stats.satisfied_ratio = last_satisfied;
+    stats.max_link_utilization = last_solution_util;
+    for (const auto& a : agents) {
+      if (a.applied_version() == stats.version) ++stats.agents_converged;
+    }
+    report.intervals.push_back(stats);
+  }
+
+  // --- convergence invariant ---------------------------------------------
+  report.final_version = kv.version();
+  report.all_converged = std::all_of(
+      agents.begin(), agents.end(), [&](const ctrl::EndpointAgent& a) {
+        return a.applied_version() == report.final_version;
+      });
+  std::size_t after_fault = 0;
+  for (const IntervalStats& s : report.intervals) {
+    const double end_s = s.start_s + options.interval_s;
+    if (end_s <= report.last_fault_end_s) continue;
+    ++after_fault;
+    if (s.agents_converged == s.agents_total) {
+      report.convergence_intervals_used = after_fault;
+      break;
+    }
+  }
+  report.converged_within_k =
+      report.all_converged && report.convergence_intervals_used > 0 &&
+      report.convergence_intervals_used <= options.convergence_intervals;
+  if (!report.converged_within_k) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "convergence: %zu/%zu agents on v%llu within %zu "
+                  "intervals after faults (limit %zu)",
+                  static_cast<std::size_t>(std::count_if(
+                      agents.begin(), agents.end(),
+                      [&](const ctrl::EndpointAgent& a) {
+                        return a.applied_version() == report.final_version;
+                      })),
+                  agents.size(),
+                  static_cast<unsigned long long>(report.final_version),
+                  report.convergence_intervals_used,
+                  options.convergence_intervals);
+    report.violations.push_back(msg);
+  }
+
+  // --- deterministic fingerprint -----------------------------------------
+  report.event_log = injector.event_log();
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::string& line : report.event_log) h = fnv1a(h, line);
+  for (const auto& a : agents) {
+    const std::uint64_t id = a.instance_id();
+    const ctrl::Version v = a.applied_version();
+    h = fnv1a(h, &id, sizeof(id));
+    h = fnv1a(h, &v, sizeof(v));
+    h = fnv1a(h, ctrl::encode_routes(a.routes()));
+  }
+  h = fnv1a(h, &report.final_version, sizeof(report.final_version));
+  for (const std::string& v : report.violations) h = fnv1a(h, v);
+  report.fingerprint = h;
+  return report;
+}
+
+}  // namespace megate::fault

@@ -1,0 +1,117 @@
+#pragma once
+// The chaos harness: a closed control loop — MegaTE solver, controller,
+// sharded TE database, endpoint agents — hammered by a seeded FaultPlan
+// and validated every step against the paper's §7.4 availability claims.
+//
+// Per TE interval the loop solves on the *current* (possibly degraded)
+// topology, publishes per-instance routes, and ticks every agent through
+// the interval while the injector activates shard crashes, mid-interval
+// link failures, pull drops and stale version reads. When a link fails or
+// recovers mid-interval the controller recomputes immediately (the
+// paper's <1 s reaction) instead of waiting for the next interval.
+//
+// Invariants checked continuously:
+//   1. every published solution passes te::check_solution (constraints
+//      (1a)-(1c): no link overload, one tunnel per flow);
+//   2. the traffic implied by the agents' *installed* route tables never
+//      overloads an up link at any tick (covers mixed old/new states
+//      during convergence);
+//   3. within K intervals after the last fault ends, every agent has
+//      applied the latest TE-db version (eventual consistency bound).
+//
+// Determinism: same ChaosOptions (including the FaultPlan seed) produce a
+// bit-identical event log, violation list and final routing state; the
+// report's fingerprint makes that a one-line assertion.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "megate/ctrl/fault_hooks.h"
+#include "megate/ctrl/telemetry.h"
+#include "megate/fault/fault_plan.h"
+
+namespace megate::fault {
+
+struct ChaosOptions {
+  // --- scenario -----------------------------------------------------------
+  std::uint32_t sites = 10;
+  std::uint32_t duplex_links = 16;
+  std::uint32_t endpoints_per_site = 4;
+  /// Offered load relative to total link capacity (~0.15 = the paper's
+  /// partially-satisfiable regime; keep well under 1.0 so transient mixed
+  /// old/new routing states cannot overload links).
+  double load = 0.15;
+  std::uint64_t scenario_seed = 42;
+  std::size_t kv_shards = 4;
+
+  // --- schedule -----------------------------------------------------------
+  std::size_t intervals = 20;
+  double interval_s = 30.0;
+  double tick_s = 1.0;
+
+  // --- agents -------------------------------------------------------------
+  double poll_interval_s = 5.0;
+  std::uint32_t max_pull_retries = 3;
+  double retry_backoff_s = 1.0;
+
+  // --- faults -------------------------------------------------------------
+  /// plan.horizon_s <= 0 auto-sizes to intervals * interval_s.
+  FaultPlanOptions plan;
+  /// Recompute + publish immediately on a mid-interval topology change.
+  bool react_to_failures = true;
+
+  // --- invariants ---------------------------------------------------------
+  /// K: intervals allowed for full convergence after the last fault.
+  std::size_t convergence_intervals = 3;
+  double capacity_tolerance = 1e-6;
+  /// The controller solves against headroom * real capacity (standard WAN
+  /// operating practice). With <= 0.5, two consecutive configs mixed
+  /// across lagging agents cannot overload a real link — the transient
+  /// old/new data-plane states of the eventual-consistency window stay
+  /// feasible. Must be in (0, 1].
+  double solve_headroom = 0.5;
+};
+
+struct IntervalStats {
+  std::size_t interval = 0;
+  double start_s = 0.0;
+  ctrl::Version version = 0;        ///< TE-db version at interval end
+  std::size_t resolves = 0;         ///< solves this interval (>=1)
+  double satisfied_ratio = 0.0;     ///< of the last solve this interval
+  double max_link_utilization = 0.0;  ///< of the last published solution
+  /// Worst utilization implied by the agents' installed tables over the
+  /// interval's ticks — the mixed old/new data-plane view.
+  double installed_max_utilization = 0.0;
+  /// Mean (over ticks) share of demand whose installed path was fully up:
+  /// the availability metric of the Fig. 16-style chaos bench.
+  double routed_demand_ratio = 0.0;
+  std::size_t agents_converged = 0;
+  std::size_t agents_total = 0;
+};
+
+struct ChaosReport {
+  std::vector<std::string> event_log;    ///< injector activations
+  std::vector<std::string> violations;   ///< empty on a healthy run
+  std::vector<IntervalStats> intervals;
+  ctrl::ControlCounters counters;
+  ctrl::Version final_version = 0;
+  double last_fault_end_s = 0.0;
+  bool all_converged = false;            ///< at end of run
+  /// Interval-ends after the last fault until full convergence (1-based;
+  /// 0 when the fleet was already converged or never converged).
+  std::size_t convergence_intervals_used = 0;
+  bool converged_within_k = false;
+  /// FNV-1a over event log + final agent routing state + violations:
+  /// bit-identical across runs of the same options.
+  std::uint64_t fingerprint = 0;
+
+  bool ok() const noexcept {
+    return violations.empty() && converged_within_k;
+  }
+};
+
+/// Runs the chaos loop. Deterministic in `options`.
+ChaosReport run_chaos(const ChaosOptions& options);
+
+}  // namespace megate::fault

@@ -29,6 +29,18 @@ enum class DemandKnowledge { kStale, kPredicted, kOracle };
 
 const char* to_string(DemandKnowledge k) noexcept;
 
+/// Link failures striking between TE periods: `count` duplex links go down
+/// at the start of period `period` and recover `duration_periods` later.
+/// The solver sees the degraded topology (with repaired tunnels) for the
+/// affected periods — demand evolution stays identical, so outcomes with
+/// and without faults are directly comparable.
+struct PeriodLinkFault {
+  std::size_t period = 0;
+  std::uint32_t count = 1;
+  std::size_t duration_periods = 1;
+  std::uint64_t seed = 7;
+};
+
 struct PeriodSimOptions {
   std::size_t periods = 8;
   /// Per-period multiplicative demand noise: factor = exp(N(0, sigma)).
@@ -38,6 +50,8 @@ struct PeriodSimOptions {
   std::uint64_t seed = 1;
   /// EWMA alpha for kPredicted.
   double ewma_alpha = 0.4;
+  /// Mid-simulation link failures (empty = the classic fault-free run).
+  std::vector<PeriodLinkFault> link_faults;
 };
 
 struct PeriodOutcome {
@@ -54,9 +68,18 @@ struct PeriodOutcome {
 /// Evolves `base` over the configured periods and runs the MegaTE solver
 /// under the given knowledge model. Deterministic in options.seed (the
 /// demand evolution is identical across knowledge models for a fixed
-/// seed, so outcomes are directly comparable).
+/// seed, so outcomes are directly comparable). options.link_faults must
+/// be empty in this const-graph overload (throws otherwise).
 std::vector<PeriodOutcome> run_period_simulation(
     const topo::Graph& graph, const topo::TunnelSet& tunnels,
+    const tm::TrafficMatrix& base, DemandKnowledge knowledge,
+    const PeriodSimOptions& options = {});
+
+/// Fault-capable overload: honours options.link_faults by failing links in
+/// place (via topo::inject_link_failures) and repairing tunnels for the
+/// degraded periods. The graph is restored before returning.
+std::vector<PeriodOutcome> run_period_simulation_with_faults(
+    topo::Graph& graph, const topo::TunnelSet& tunnels,
     const tm::TrafficMatrix& base, DemandKnowledge knowledge,
     const PeriodSimOptions& options = {});
 

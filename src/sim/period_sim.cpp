@@ -1,8 +1,10 @@
 #include "megate/sim/period_sim.h"
 
 #include <cmath>
+#include <stdexcept>
 #include <unordered_map>
 
+#include "megate/topo/failures.h"
 #include "megate/util/rng.h"
 
 namespace megate::sim {
@@ -92,6 +94,20 @@ std::vector<PeriodOutcome> run_period_simulation(
     const topo::Graph& graph, const topo::TunnelSet& tunnels,
     const tm::TrafficMatrix& base, DemandKnowledge knowledge,
     const PeriodSimOptions& options) {
+  if (!options.link_faults.empty()) {
+    throw std::invalid_argument(
+        "link_faults require the mutable-graph overload "
+        "(run_period_simulation_with_faults)");
+  }
+  // No faults -> the graph is never mutated; share the implementation.
+  return run_period_simulation_with_faults(
+      const_cast<topo::Graph&>(graph), tunnels, base, knowledge, options);
+}
+
+std::vector<PeriodOutcome> run_period_simulation_with_faults(
+    topo::Graph& graph, const topo::TunnelSet& tunnels,
+    const tm::TrafficMatrix& base, DemandKnowledge knowledge,
+    const PeriodSimOptions& options) {
   tm::FlowPredictor predictor(tm::PredictorKind::kEwma, options.ewma_alpha);
 
   te::MegaTeSolver solver;
@@ -99,7 +115,40 @@ std::vector<PeriodOutcome> run_period_simulation(
   tm::TrafficMatrix previous = base;
   predictor.observe(previous);
 
+  /// Failures currently in force, with the period they recover at.
+  struct ActiveFault {
+    std::vector<topo::FailureEvent> events;
+    std::size_t recover_period;
+  };
+  std::vector<ActiveFault> active;
+
   for (std::size_t period = 0; period < options.periods; ++period) {
+    // Recover faults whose window ended, then strike this period's.
+    for (std::size_t i = 0; i < active.size();) {
+      if (active[i].recover_period <= period) {
+        topo::restore_failures(graph, active[i].events);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    for (const PeriodLinkFault& f : options.link_faults) {
+      if (f.period != period) continue;
+      ActiveFault a;
+      a.events = topo::inject_link_failures(graph, f.count, f.seed);
+      a.recover_period = period + std::max<std::size_t>(1, f.duration_periods);
+      active.push_back(std::move(a));
+    }
+    // Degraded periods solve on repaired tunnels (dead ones rebuilt
+    // around the failures, surviving identities stable).
+    topo::TunnelSet repaired;
+    const topo::TunnelSet* period_tunnels = &tunnels;
+    if (!active.empty()) {
+      repaired = tunnels;
+      topo::repair_tunnels(graph, repaired);
+      period_tunnels = &repaired;
+    }
+
     const tm::TrafficMatrix actual = materialize(base, period, options);
 
     // What the controller believes the next period looks like.
@@ -112,7 +161,7 @@ std::vector<PeriodOutcome> run_period_simulation(
 
     te::TeProblem problem;
     problem.graph = &graph;
-    problem.tunnels = &tunnels;
+    problem.tunnels = period_tunnels;
     problem.traffic = &believed;
     const te::TeSolution sol = solver.solve(problem);
 
@@ -143,6 +192,7 @@ std::vector<PeriodOutcome> run_period_simulation(
     predictor.observe(actual);
     previous = actual;
   }
+  for (const ActiveFault& a : active) topo::restore_failures(graph, a.events);
   return outcomes;
 }
 

@@ -9,6 +9,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -25,7 +26,14 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; returns a future for its completion.
+  /// Drains the queue and joins the workers. Idempotent; called by the
+  /// destructor. After shutdown, submit/parallel_for throw. Must not be
+  /// called concurrently with itself or the destructor.
+  void shutdown();
+
+  /// Enqueues a task; returns a future for its completion. Throws if the
+  /// pool is shutting down: a task enqueued after the workers drained the
+  /// queue would never run and its future would never become ready.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task =
@@ -33,6 +41,7 @@ class ThreadPool {
     std::future<void> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
+      if (stop_) throw std::runtime_error("submit on a stopped ThreadPool");
       queue_.emplace([task]() { (*task)(); });
     }
     cv_.notify_one();

@@ -1,0 +1,89 @@
+// Differential test for FastSSP (ISSUE satellite): on instances small
+// enough for the exact pseudo-polynomial DP (<= 20 flows), the gap between
+// FastSSP and the exact optimum must respect the documented Appendix A.2
+// bound beta <= min(residual demand) / F, i.e.
+//
+//   dp.total - fast.total  <=  stats.error_bound * capacity + tolerance.
+//
+// The DP runs on a grid fine enough (capacity / 2e5) that its own
+// quantization error is far below the tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "megate/ssp/fast_ssp.h"
+#include "megate/ssp/subset_sum.h"
+#include "megate/util/rng.h"
+
+namespace megate::ssp {
+namespace {
+
+struct DiffCase {
+  std::uint64_t seed;
+  int flows;            // <= 20 so the exact DP is cheap
+  double cap_fraction;  // capacity as a share of total demand
+};
+
+class FastSspDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(FastSspDifferential, GapWithinDocumentedBound) {
+  const DiffCase c = GetParam();
+  util::Rng rng(c.seed);
+  std::vector<double> v;
+  for (int i = 0; i < c.flows; ++i) v.push_back(rng.lognormal(-1.0, 1.0));
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  const double cap = total * c.cap_fraction;
+
+  FastSspStats stats;
+  const Selection fast = fast_ssp(v, cap, {}, &stats);
+  const Selection dp = solve_dp(v, cap, cap / 2e5);
+
+  // Both feasible, both self-consistent.
+  EXPECT_LE(fast.total, cap + 1e-9);
+  EXPECT_LE(dp.total, cap + 1e-9);
+  double fast_sum = 0.0;
+  for (std::size_t i : fast.indices) fast_sum += v[i];
+  EXPECT_NEAR(fast_sum, fast.total, 1e-9);
+
+  // The exact optimum can beat FastSSP by at most the documented bound.
+  const double gap = dp.total - fast.total;
+  const double dp_grid_slack = static_cast<double>(v.size()) * cap / 2e5;
+  EXPECT_LE(gap, stats.error_bound * cap + dp_grid_slack + 1e-9)
+      << "seed=" << c.seed << " flows=" << c.flows
+      << " cap_fraction=" << c.cap_fraction << " dp=" << dp.total
+      << " fast=" << fast.total << " bound=" << stats.error_bound * cap;
+
+  // When nothing is left out the bound is zero and FastSSP is exact.
+  if (fast.indices.size() == v.size()) {
+    EXPECT_DOUBLE_EQ(stats.error_bound, 0.0);
+    EXPECT_NEAR(fast.total, dp.total, dp_grid_slack + 1e-9);
+  }
+}
+
+std::vector<DiffCase> diff_cases() {
+  std::vector<DiffCase> cases;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const double frac : {0.3, 0.6, 0.9}) {
+      cases.push_back({seed, 5 + static_cast<int>(seed), frac});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FastSspDifferential, ::testing::ValuesIn(diff_cases()),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "seed%llu_flows%d_cap%d",
+                    static_cast<unsigned long long>(info.param.seed),
+                    info.param.flows,
+                    static_cast<int>(info.param.cap_fraction * 100));
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace megate::ssp

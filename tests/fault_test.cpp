@@ -1,0 +1,478 @@
+// Tests for the fault-injection subsystem: FaultPlan schedules, the
+// KvStore shard redo log, agent retry/fall-back behaviour, connection
+// drops, the FaultInjector event machinery and the end-to-end chaos loop
+// (determinism + the convergence invariants).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "megate/ctrl/agent.h"
+#include "megate/ctrl/connection_manager.h"
+#include "megate/ctrl/controller.h"
+#include "megate/ctrl/hybrid_sync.h"
+#include "megate/ctrl/kvstore.h"
+#include "megate/fault/chaos.h"
+#include "megate/fault/fault_plan.h"
+#include "megate/fault/injector.h"
+#include "megate/sim/period_sim.h"
+#include "megate/topo/generators.h"
+#include "test_helpers.h"
+
+namespace megate {
+namespace {
+
+// --- FaultPlan --------------------------------------------------------------
+
+fault::FaultPlanOptions small_plan_options(std::uint64_t seed) {
+  fault::FaultPlanOptions o;
+  o.seed = seed;
+  o.horizon_s = 300.0;
+  o.quiet_tail_s = 60.0;
+  o.shard_crashes = 2;
+  o.link_failures = 2;
+  o.pull_drop_windows = 2;
+  o.stale_windows = 2;
+  o.connection_drops = 1;
+  return o;
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  const auto opt = small_plan_options(7);
+  const auto a = fault::FaultPlan::generate(opt, 4, 16);
+  const auto b = fault::FaultPlan::generate(opt, 4, 16);
+  EXPECT_EQ(a.to_log(), b.to_log());
+  EXPECT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(a.last_fault_end_s(), b.last_fault_end_s());
+}
+
+TEST(FaultPlanTest, DifferentSeedDifferentPlan) {
+  const auto a = fault::FaultPlan::generate(small_plan_options(7), 4, 16);
+  const auto b = fault::FaultPlan::generate(small_plan_options(8), 4, 16);
+  EXPECT_NE(a.to_log(), b.to_log());
+}
+
+TEST(FaultPlanTest, EventsSortedAndInsideQuietTailWindow) {
+  const auto opt = small_plan_options(3);
+  const auto plan = fault::FaultPlan::generate(opt, 4, 16);
+  ASSERT_FALSE(plan.empty());
+  double prev = -1.0;
+  for (const auto& e : plan.events()) {
+    EXPECT_GE(e.start_s, prev);
+    prev = e.start_s;
+    EXPECT_GE(e.start_s, 0.0);
+    EXPECT_LE(e.end_s(), opt.horizon_s - opt.quiet_tail_s + 1e-9);
+    EXPECT_LE(e.end_s(), plan.last_fault_end_s() + 1e-9);
+  }
+}
+
+TEST(FaultPlanTest, EmptyTargetSpacesAreSkipped) {
+  auto opt = small_plan_options(5);
+  const auto plan = fault::FaultPlan::generate(opt, 0, 0);
+  for (const auto& e : plan.events()) {
+    EXPECT_NE(e.kind, fault::FaultKind::kShardCrash);
+    EXPECT_NE(e.kind, fault::FaultKind::kLinkFailure);
+  }
+}
+
+// --- KvStore shard availability --------------------------------------------
+
+TEST(KvStoreFaultTest, DownShardRefusesReadsAndBuffersWrites) {
+  ctrl::KvStore kv(4);
+  kv.put("alpha", "1");
+  const std::size_t shard = kv.shard_index("alpha");
+  ASSERT_TRUE(kv.shard_up(shard));
+
+  kv.set_shard_up(shard, false);
+  EXPECT_FALSE(kv.shard_up(shard));
+  std::string value;
+  EXPECT_EQ(kv.try_get("alpha", &value), ctrl::GetStatus::kUnavailable);
+  EXPECT_GE(kv.unavailable_count(), 1u);
+  // Legacy get cannot distinguish down from missing.
+  EXPECT_FALSE(kv.get("alpha").has_value());
+
+  // Writes while down are buffered; the redo log replays in order.
+  kv.put("alpha", "2");
+  kv.put("alpha", "3");
+  kv.set_shard_up(shard, true);
+  ASSERT_EQ(kv.try_get("alpha", &value), ctrl::GetStatus::kOk);
+  EXPECT_EQ(value, "3");
+}
+
+TEST(KvStoreFaultTest, PublishAdvancesVersionWhileShardDown) {
+  ctrl::KvStore kv(2);
+  kv.set_shard_up(0, false);
+  kv.set_shard_up(1, false);
+  const ctrl::Version before = kv.version();
+  kv.publish({{"k1", "v1"}, {"k2", "v2"}});
+  EXPECT_EQ(kv.version(), before + 1);  // readers learn an update exists
+  kv.set_shard_up(0, true);
+  kv.set_shard_up(1, true);
+  std::string value;
+  EXPECT_EQ(kv.try_get("k1", &value), ctrl::GetStatus::kOk);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(kv.try_get("k2", &value), ctrl::GetStatus::kOk);
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(KvStoreFaultTest, MissVsUnavailableAndEraseOnDownShard) {
+  ctrl::KvStore kv(1);
+  std::string value;
+  EXPECT_EQ(kv.try_get("absent", &value), ctrl::GetStatus::kMiss);
+  kv.put("key", "v");
+  kv.set_shard_up(0, false);
+  EXPECT_FALSE(kv.erase("key"));
+  kv.set_shard_up(0, true);
+  EXPECT_TRUE(kv.erase("key"));
+}
+
+TEST(KvStoreFaultTest, ShardIndexOutOfRangeThrows) {
+  ctrl::KvStore kv(2);
+  EXPECT_THROW(kv.set_shard_up(2, false), std::out_of_range);
+}
+
+// --- EndpointAgent retry / fall-back ---------------------------------------
+
+/// Hook that drops every pull while `drop` is set.
+struct DropSwitch final : ctrl::FaultHooks {
+  bool drop = false;
+  bool drop_pull(std::uint64_t) override { return drop; }
+};
+
+TEST(AgentFaultTest, KeepsLastGoodRoutesAndRetriesOnDrop) {
+  ctrl::KvStore kv(2);
+  ctrl::Controller controller(&kv);
+  DropSwitch hooks;
+  ctrl::ControlCounters counters;
+
+  ctrl::AgentOptions opt;
+  opt.poll_interval_s = 10.0;
+  opt.max_pull_retries = 3;
+  opt.retry_backoff_s = 0.5;
+  opt.fault_hooks = &hooks;
+  opt.counters = &counters;
+  ctrl::EndpointAgent agent(17, &kv, nullptr, opt);
+
+  // Healthy pull of v1.
+  controller.publish_path(17, {1, 2, 3});
+  for (double t = 0.0; t <= 20.0; t += 1.0) agent.tick(t);
+  ASSERT_EQ(agent.applied_version(), kv.version());
+  const auto v1_routes = agent.routes();
+  ASSERT_FALSE(v1_routes.empty());
+
+  // v2 published but every pull drops: last-good routes survive, the agent
+  // burns its retry budget and falls back to the poll cadence.
+  hooks.drop = true;
+  controller.publish_path(17, {4, 5});
+  for (double t = 20.0; t <= 60.0; t += 1.0) agent.tick(t);
+  EXPECT_EQ(agent.routes(), v1_routes);
+  EXPECT_LT(agent.applied_version(), kv.version());
+  EXPECT_GT(counters.pull_drops, 0u);
+  EXPECT_GT(counters.pull_retries, 0u);
+  EXPECT_GT(counters.fallbacks_last_good, 0u);
+
+  // Faults lift: the agent converges to v2 on the next poll.
+  hooks.drop = false;
+  for (double t = 60.0; t <= 80.0; t += 1.0) agent.tick(t);
+  EXPECT_EQ(agent.applied_version(), kv.version());
+  EXPECT_EQ(agent.failed_pulls(), 0u);
+  ASSERT_FALSE(agent.routes().empty());
+  EXPECT_EQ(agent.routes()[0].hops, (std::vector<std::uint32_t>{4, 5}));
+}
+
+TEST(AgentFaultTest, ShardOutageFallsBackThenConverges) {
+  ctrl::KvStore kv(1);
+  ctrl::Controller controller(&kv);
+  ctrl::ControlCounters counters;
+  ctrl::AgentOptions opt;
+  opt.poll_interval_s = 5.0;
+  opt.retry_backoff_s = 0.5;
+  opt.counters = &counters;
+  ctrl::EndpointAgent agent(3, &kv, nullptr, opt);
+
+  controller.publish_path(3, {9});
+  kv.set_shard_up(0, false);
+  for (double t = 0.0; t <= 30.0; t += 1.0) agent.tick(t);
+  EXPECT_NE(agent.applied_version(), kv.version());
+  EXPECT_GT(counters.shard_unavailable, 0u);
+  EXPECT_TRUE(agent.routes().empty());  // never had a good table
+
+  kv.set_shard_up(0, true);
+  for (double t = 30.0; t <= 45.0; t += 1.0) agent.tick(t);
+  EXPECT_EQ(agent.applied_version(), kv.version());
+  EXPECT_FALSE(agent.routes().empty());
+}
+
+/// Hook that serves version queries `depth` versions behind.
+struct StaleHook final : ctrl::FaultHooks {
+  ctrl::Version depth = 0;
+  ctrl::Version observed_version(std::uint64_t,
+                                 ctrl::Version actual) override {
+    return actual >= depth ? actual - depth : 0;
+  }
+};
+
+TEST(AgentFaultTest, StaleVersionWindowDelaysApply) {
+  ctrl::KvStore kv(2);
+  ctrl::Controller controller(&kv);
+  StaleHook hooks;
+  ctrl::AgentOptions opt;
+  opt.poll_interval_s = 5.0;
+  opt.fault_hooks = &hooks;
+  ctrl::EndpointAgent agent(8, &kv, nullptr, opt);
+
+  controller.publish_path(8, {1});
+  hooks.depth = 1;  // agent sees v0 while the store is at v1
+  for (double t = 0.0; t <= 20.0; t += 1.0) agent.tick(t);
+  EXPECT_EQ(agent.applied_version(), 0u);
+  hooks.depth = 0;
+  for (double t = 20.0; t <= 30.0; t += 1.0) agent.tick(t);
+  EXPECT_EQ(agent.applied_version(), kv.version());
+}
+
+// --- ConnectionManager drops ------------------------------------------------
+
+TEST(ConnectionManagerFaultTest, DroppedConnectionsReconnectAfterDelay) {
+  ctrl::ConnectionManagerOptions opt;
+  opt.reconnect_delay_s = 1.0;
+  ctrl::ConnectionManager cm(opt);
+  cm.connect(100);
+
+  cm.drop_connections(30);
+  EXPECT_EQ(cm.connections(), 70u);
+  EXPECT_EQ(cm.drops(), 30u);
+  EXPECT_EQ(cm.pending_reconnects(), 30u);
+
+  cm.run(0.5);  // not due yet
+  EXPECT_EQ(cm.connections(), 70u);
+  cm.run(1.0);  // crosses the reconnect deadline
+  EXPECT_EQ(cm.connections(), 100u);
+  EXPECT_EQ(cm.reconnects(), 30u);
+  EXPECT_EQ(cm.pending_reconnects(), 0u);
+  EXPECT_GT(cm.cpu_utilization(), 0.0);
+}
+
+TEST(ConnectionManagerFaultTest, DropClampsToLiveConnections) {
+  ctrl::ConnectionManager cm;
+  cm.connect(10);
+  cm.drop_connections(50);
+  EXPECT_EQ(cm.connections(), 0u);
+  EXPECT_EQ(cm.drops(), 10u);
+  cm.run(5.0);
+  EXPECT_EQ(cm.connections(), 10u);
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicEventLogAndShardLifecycle) {
+  auto opt = small_plan_options(11);
+  opt.connection_drops = 0;
+  const auto run_once = [&](std::vector<std::string>* log) {
+    auto s = testing::make_scenario(8, 12, 2);
+    ctrl::KvStore kv(4);
+    const auto plan =
+        fault::FaultPlan::generate(opt, 4, s->graph.num_links() / 2);
+    fault::FaultInjector::Bindings bind;
+    bind.store = &kv;
+    bind.graph = &s->graph;
+    fault::FaultInjector injector(plan, bind);
+    bool saw_shard_down = false;
+    for (double t = 0.0; t <= opt.horizon_s; t += 1.0) {
+      injector.advance_to(t);
+      for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+        saw_shard_down = saw_shard_down || !kv.shard_up(i);
+      }
+    }
+    // Everything recovered by the horizon.
+    for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+      EXPECT_TRUE(kv.shard_up(i));
+    }
+    for (topo::EdgeId e = 0; e < s->graph.num_links(); ++e) {
+      EXPECT_TRUE(s->graph.link(e).up);
+    }
+    EXPECT_FALSE(injector.faults_active());
+    *log = injector.event_log();
+    return saw_shard_down;
+  };
+  std::vector<std::string> log_a;
+  std::vector<std::string> log_b;
+  const bool shard_down_a = run_once(&log_a);
+  run_once(&log_b);
+  EXPECT_TRUE(shard_down_a);
+  ASSERT_FALSE(log_a.empty());
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(FaultInjectorTest, LinkFailuresNeverPartitionTheGraph) {
+  auto opt = small_plan_options(13);
+  opt.link_failures = 4;
+  auto s = testing::make_scenario(8, 10, 2);
+  const auto plan =
+      fault::FaultPlan::generate(opt, 0, s->graph.num_links() / 2);
+  fault::FaultInjector::Bindings bind;
+  bind.graph = &s->graph;
+  fault::FaultInjector injector(plan, bind);
+  for (double t = 0.0; t <= opt.horizon_s; t += 1.0) {
+    injector.advance_to(t);
+    EXPECT_TRUE(s->graph.is_connected()) << "partitioned at t=" << t;
+  }
+}
+
+// --- chaos loop -------------------------------------------------------------
+
+fault::ChaosOptions small_chaos_options() {
+  fault::ChaosOptions opt;
+  opt.sites = 8;
+  opt.duplex_links = 12;
+  opt.endpoints_per_site = 2;
+  opt.intervals = 8;
+  opt.interval_s = 15.0;
+  opt.poll_interval_s = 4.0;
+  opt.plan.seed = 21;
+  opt.plan.horizon_s = 0.0;  // auto-size to intervals * interval_s
+  opt.plan.quiet_tail_s = 45.0;
+  opt.plan.shard_crashes = 2;
+  opt.plan.link_failures = 1;
+  opt.plan.pull_drop_windows = 1;
+  opt.plan.stale_windows = 1;
+  return opt;
+}
+
+TEST(ChaosTest, SameSeedBitIdenticalReport) {
+  const auto opt = small_chaos_options();
+  const auto a = fault::run_chaos(opt);
+  const auto b = fault::run_chaos(opt);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.final_version, b.final_version);
+}
+
+TEST(ChaosTest, DifferentPlanSeedDifferentFingerprint) {
+  auto opt = small_chaos_options();
+  const auto a = fault::run_chaos(opt);
+  opt.plan.seed = 22;
+  const auto b = fault::run_chaos(opt);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(ChaosTest, FaultFreeRunIsHealthy) {
+  auto opt = small_chaos_options();
+  opt.intervals = 4;
+  opt.plan.shard_crashes = 0;
+  opt.plan.link_failures = 0;
+  opt.plan.pull_drop_windows = 0;
+  opt.plan.stale_windows = 0;
+  const auto report = fault::run_chaos(opt);
+  EXPECT_TRUE(report.event_log.empty());
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? "not converged"
+                                   : report.violations.front());
+  EXPECT_GT(report.final_version, 0u);
+  for (const auto& s : report.intervals) {
+    EXPECT_GT(s.satisfied_ratio, 0.5);
+    // Fault-free and converged: installed routes carry what the solver
+    // assigned (interval 0 ramps up from empty tables).
+    if (s.interval > 0) {
+      EXPECT_GT(s.routed_demand_ratio, s.satisfied_ratio - 0.02);
+    }
+    EXPECT_LE(s.installed_max_utilization, 1.0 + 1e-6);
+  }
+}
+
+// The ISSUE acceptance criterion: a 50-interval chaos run with shard
+// crashes and link failures ends with zero violations and every agent on
+// the latest TE-db version within K intervals of the last fault.
+TEST(ChaosTest, FiftyIntervalAcceptanceRun) {
+  fault::ChaosOptions opt;
+  opt.sites = 8;
+  opt.duplex_links = 12;
+  opt.endpoints_per_site = 2;
+  opt.intervals = 50;
+  opt.interval_s = 10.0;
+  opt.poll_interval_s = 3.0;
+  opt.convergence_intervals = 3;
+  opt.plan.seed = 4;
+  opt.plan.horizon_s = 0.0;
+  opt.plan.quiet_tail_s = 60.0;
+  opt.plan.shard_crashes = 3;
+  opt.plan.link_failures = 3;
+  opt.plan.pull_drop_windows = 2;
+  opt.plan.stale_windows = 2;
+  const auto report = fault::run_chaos(opt);
+
+  ASSERT_FALSE(report.event_log.empty());
+  for (const auto& v : report.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(report.all_converged);
+  EXPECT_TRUE(report.converged_within_k);
+  EXPECT_TRUE(report.ok());
+  // The faults actually bit: the control plane observed them and reacted.
+  EXPECT_GT(report.counters.shard_unavailable + report.counters.pull_drops +
+                report.counters.stale_version_reads,
+            0u);
+  EXPECT_GT(report.counters.fallbacks_last_good, 0u);
+  EXPECT_GT(report.counters.publishes, 50u);  // mid-interval re-solves too
+}
+
+// --- period_sim link faults -------------------------------------------------
+
+TEST(PeriodSimFaultTest, ConstOverloadRejectsFaults) {
+  auto s = testing::make_scenario(6, 9, 2);
+  sim::PeriodSimOptions opt;
+  opt.periods = 2;
+  opt.link_faults.push_back({.period = 0, .count = 1});
+  EXPECT_THROW(sim::run_period_simulation(s->graph, s->tunnels, s->traffic,
+                                          sim::DemandKnowledge::kOracle, opt),
+               std::invalid_argument);
+}
+
+TEST(PeriodSimFaultTest, FaultsDegradeThenGraphRestored) {
+  auto s = testing::make_scenario(6, 9, 2);
+  sim::PeriodSimOptions opt;
+  opt.periods = 6;
+  opt.seed = 5;
+
+  const auto clean = sim::run_period_simulation_with_faults(
+      s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kOracle, opt);
+
+  opt.link_faults.push_back(
+      {.period = 2, .count = 2, .duration_periods = 2, .seed = 9});
+  const auto faulty = sim::run_period_simulation_with_faults(
+      s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kOracle, opt);
+
+  ASSERT_EQ(clean.size(), faulty.size());
+  for (topo::EdgeId e = 0; e < s->graph.num_links(); ++e) {
+    EXPECT_TRUE(s->graph.link(e).up);  // restored before returning
+  }
+  // Identical demand evolution outside the fault window.
+  EXPECT_DOUBLE_EQ(clean[0].actual_total_gbps, faulty[0].actual_total_gbps);
+  EXPECT_DOUBLE_EQ(clean[0].carried_gbps, faulty[0].carried_gbps);
+  // Degraded periods never carry more than the healthy run.
+  for (std::size_t p = 0; p < clean.size(); ++p) {
+    EXPECT_LE(faulty[p].carried_gbps, clean[p].carried_gbps + 1e-9);
+  }
+}
+
+// --- hybrid sync drop-rate model -------------------------------------------
+
+TEST(HybridSyncFaultTest, DropRateStretchesPollingStaleness) {
+  auto s = testing::make_scenario(6, 9, 2);
+  ctrl::SyncCostModel model;
+  ctrl::HybridSyncOptions opt;
+  opt.heavy_traffic_share = 0.5;
+  const auto clean = ctrl::plan_hybrid_sync(s->traffic, model, opt);
+  opt.pull_drop_rate = 0.5;
+  const auto lossy = ctrl::plan_hybrid_sync(s->traffic, model, opt);
+  EXPECT_GT(lossy.mean_staleness_s, clean.mean_staleness_s);
+  EXPECT_NEAR(lossy.worst_staleness_s, 2.0 * clean.worst_staleness_s, 1e-9);
+
+  opt.pull_drop_rate = 1.0;
+  EXPECT_THROW(ctrl::plan_hybrid_sync(s->traffic, model, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace megate

@@ -7,10 +7,16 @@
 //                    [--gml] [--endpoints N] [--load F]
 //                    [--solver megate|lpall|ncflow|teal] [--seed N]
 //   megate_cli sync  --endpoints N                  Fig. 14 resource rows
+//   megate_cli chaos [--seed N] [--intervals N] [--sites N] [--links N]
+//                    [--endpoints N] [--shards N] [--quiet-tail S]
+//                    [--shard-crashes N] [--link-failures N]
+//                    [--pull-drops N] [--stale-windows N] [--k N]
+//                    [--log]            seeded fault-injection chaos run
 //
 // Exit code 0 on success, 1 on a constraint violation or solver refusal,
 // 2 on usage errors.
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -18,6 +24,7 @@
 #include <string>
 
 #include "megate/ctrl/sync_model.h"
+#include "megate/fault/chaos.h"
 #include "megate/te/baselines.h"
 #include "megate/te/checker.h"
 #include "megate/te/megate_solver.h"
@@ -43,6 +50,11 @@ int usage(const char* msg = nullptr) {
       "                   [--endpoints N] [--load F] [--solver NAME]\n"
       "                   [--seed N]\n"
       "  megate_cli sync  --endpoints N\n"
+      "  megate_cli chaos [--seed N] [--intervals N] [--sites N]\n"
+      "                   [--links N] [--endpoints N] [--shards N]\n"
+      "                   [--quiet-tail S] [--shard-crashes N]\n"
+      "                   [--link-failures N] [--pull-drops N]\n"
+      "                   [--stale-windows N] [--k N] [--log]\n"
       "KIND: b4 | deltacom | cogentco | twan; NAME: megate | lpall |\n"
       "ncflow | teal\n";
   return 2;
@@ -221,17 +233,72 @@ int cmd_sync(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_chaos(const std::map<std::string, std::string>& flags) {
+  fault::ChaosOptions opt;
+  opt.plan.seed = flag_u64(flags, "seed", 1);
+  opt.intervals = flag_u64(flags, "intervals", 20);
+  opt.sites = static_cast<std::uint32_t>(flag_u64(flags, "sites", 10));
+  opt.duplex_links =
+      static_cast<std::uint32_t>(flag_u64(flags, "links", 16));
+  opt.endpoints_per_site =
+      static_cast<std::uint32_t>(flag_u64(flags, "endpoints", 4));
+  opt.kv_shards = flag_u64(flags, "shards", 4);
+  opt.plan.quiet_tail_s = flag_double(flags, "quiet-tail", 120.0);
+  opt.plan.shard_crashes = flag_u64(flags, "shard-crashes", 2);
+  opt.plan.link_failures = flag_u64(flags, "link-failures", 2);
+  opt.plan.pull_drop_windows = flag_u64(flags, "pull-drops", 2);
+  opt.plan.stale_windows = flag_u64(flags, "stale-windows", 2);
+  opt.convergence_intervals = flag_u64(flags, "k", 3);
+
+  const fault::ChaosReport report = fault::run_chaos(opt);
+
+  if (flags.contains("log")) {
+    for (const auto& line : report.event_log) std::cout << line << "\n";
+    std::cout << "\n";
+  }
+
+  util::Table t("chaos run (plan seed " + std::to_string(opt.plan.seed) +
+                ", " + std::to_string(opt.intervals) + " intervals)");
+  t.header({"metric", "value"});
+  t.add_row({"fault events", util::Table::num(report.event_log.size())});
+  t.add_row({"final TE-db version", util::Table::num(report.final_version)});
+  t.add_row({"publishes", util::Table::num(report.counters.publishes)});
+  t.add_row({"agent polls", util::Table::num(report.counters.polls)});
+  t.add_row({"pull drops", util::Table::num(report.counters.pull_drops)});
+  t.add_row({"shard-unavailable reads",
+             util::Table::num(report.counters.shard_unavailable)});
+  t.add_row({"stale version reads",
+             util::Table::num(report.counters.stale_version_reads)});
+  t.add_row({"last-good fallbacks",
+             util::Table::num(report.counters.fallbacks_last_good)});
+  double min_routed = 1.0;
+  for (const auto& s : report.intervals) {
+    min_routed = std::min(min_routed, s.routed_demand_ratio);
+  }
+  t.add_row({"worst interval availability",
+             util::Table::num(100.0 * min_routed, 1) + "%"});
+  t.add_row({"converged within K",
+             report.converged_within_k ? "yes" : "NO"});
+  t.add_row({"violations", util::Table::num(report.violations.size())});
+  t.add_row({"fingerprint",
+             std::to_string(report.fingerprint)});
+  t.print(std::cout);
+  for (const auto& v : report.violations) std::cerr << "  " << v << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::map<std::string, std::string> flags;
-  // `--gml` is a boolean flag: accept it without a value.
+  // `--gml` / `--log` are boolean flags: accept them without a value.
   std::vector<char*> args;
   for (int i = 2; i < argc; ++i) {
     args.push_back(argv[i]);
-    if (std::strcmp(argv[i], "--gml") == 0) {
+    if (std::strcmp(argv[i], "--gml") == 0 ||
+        std::strcmp(argv[i], "--log") == 0) {
       static char yes[] = "1";
       args.push_back(yes);
     }
@@ -244,6 +311,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(flags);
     if (cmd == "solve") return cmd_solve(flags);
     if (cmd == "sync") return cmd_sync(flags);
+    if (cmd == "chaos") return cmd_chaos(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
