@@ -30,6 +30,12 @@ ASAN_FILTER+=':ConnectionManagerFaultTest.*:FaultInjectorTest.*'
 ASAN_FILTER+=':ChaosTest.*:PeriodSimFaultTest.*:HybridSyncFaultTest.*'
 ASAN_FILTER+=':PropertyTest.*:Sweep/FastSspDifferential.*'
 ASAN_FILTER+=':ThreadPoolHardening.*'
+# Incremental-vs-cold differential suite + cache invalidation/parity tests
+# (tests/incremental_test.cpp): the memo hands out pointers into cached
+# entries and replays assignments across intervals, exactly the kind of
+# lifetime bug ASan exists for.
+ASAN_FILTER+=':IncrementalDifferential.*:IncrementalCacheTest.*'
+ASAN_FILTER+=':IncrementalFaultReplay.*:IncrementalParity.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -25,6 +25,13 @@ namespace megate::ctrl {
 /// loops that populate these are single-threaded, so plain integers keep
 /// the hot poll path free of atomics. The chaos bench and `megate_cli
 /// chaos` surface them next to the availability numbers.
+///
+/// The incremental_* group aggregates te::IncrementalStats across every
+/// solve_incremental call of a run (ChaosOptions::incremental_solve):
+/// stage-2 memo hits, pairs the demand delta marked dirty, stage-1 LPs
+/// resolved from a warm basis with zero pivots, and full cache drops
+/// forced by topology changes (every fault event lands here — see
+/// DESIGN.md "Incremental solving across intervals").
 struct ControlCounters {
   std::uint64_t polls = 0;                ///< version queries issued
   std::uint64_t pulls = 0;                ///< route entries pulled OK
@@ -34,6 +41,12 @@ struct ControlCounters {
   std::uint64_t stale_version_reads = 0;  ///< version queries served stale
   std::uint64_t fallbacks_last_good = 0;  ///< kept last-good routes on error
   std::uint64_t publishes = 0;            ///< controller config publishes
+  std::uint64_t incremental_solves = 0;   ///< solve_incremental calls
+  std::uint64_t incremental_cache_hits = 0;    ///< stage-2 memo replays
+  std::uint64_t incremental_cache_misses = 0;  ///< stage-2 recomputes
+  std::uint64_t incremental_dirty_pairs = 0;   ///< pairs with changed demand
+  std::uint64_t incremental_warm_start_rounds = 0;  ///< 0-pivot stage-1 LPs
+  std::uint64_t incremental_invalidations = 0;  ///< topology-forced drops
 };
 
 struct TelemetryOptions {

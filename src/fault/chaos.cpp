@@ -180,7 +180,18 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     problem.graph = &solver_graph;
     problem.tunnels = &repaired;
     problem.traffic = &traffic;
-    const te::TeSolution sol = solver.solve(problem);
+    const te::TeSolution sol = options.incremental_solve
+                                   ? solver.solve_incremental(problem)
+                                   : solver.solve(problem);
+    if (options.incremental_solve) {
+      const te::IncrementalStats& is = solver.last_incremental_stats();
+      ++report.counters.incremental_solves;
+      report.counters.incremental_cache_hits += is.ssp_cache_hits;
+      report.counters.incremental_cache_misses += is.ssp_cache_misses;
+      report.counters.incremental_dirty_pairs += is.dirty_pairs;
+      report.counters.incremental_warm_start_rounds += is.warm_start_rounds;
+      report.counters.incremental_invalidations += is.cache_invalidations;
+    }
     te::CheckOptions copt;
     copt.capacity_tolerance = options.capacity_tolerance;
     copt.require_flow_assignment = true;

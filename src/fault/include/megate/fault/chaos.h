@@ -60,6 +60,13 @@ struct ChaosOptions {
   FaultPlanOptions plan;
   /// Recompute + publish immediately on a mid-interval topology change.
   bool react_to_failures = true;
+  /// Solve with MegaTeSolver::solve_incremental instead of cold solves.
+  /// Off by default so the golden report fingerprints of the seed test
+  /// suite keep covering the cold path; the incremental path asserts the
+  /// same fingerprints (see fault tests) since every fault event
+  /// invalidates the retained state through the topology fingerprint.
+  /// Aggregated telemetry lands in the counters' incremental_* fields.
+  bool incremental_solve = false;
 
   // --- invariants ---------------------------------------------------------
   /// K: intervals allowed for full convergence after the last fault.

@@ -1,0 +1,79 @@
+#pragma once
+// Per-site-pair memoization of stage-2 (MaxEndpointFlow / FastSSP)
+// results across TE intervals.
+//
+// The per-pair stage-2 solve is a pure deterministic function of
+//   (flow demand list of the pair's QoS-round view, tunnel list,
+//    stage-1 allocation F_{k,t}, FastSSP options),
+// so its result can be reused verbatim whenever every input is *bitwise*
+// identical to a previous interval. Keys are 64-bit fingerprints of those
+// inputs: demand_hash is the delta pass's whole-pair flow-list fingerprint
+// (tm::fingerprint_flows — slightly stricter than the QoS-round view, and
+// already computed once per interval), alloc_hash the bitwise F_{k,t}
+// vector. A hit replays the stored per-flow tunnel assignment without
+// running FastSSP.
+//
+// Invalidation is explicit and epoch-based: any topology or capacity
+// change (link up/down, capacity derate, tunnel repair) must call
+// invalidate_all() — fault events from the chaos injector reach the cache
+// this way. Entries also self-invalidate on key mismatch (demands or
+// F_{k,t} moved), so a stale hit requires a 128-bit fingerprint collision
+// on top of a missed invalidation.
+//
+// The cache keeps exactly one entry per (pair, QoS round) slot — bounded
+// by the traffic matrix's pair count, no eviction policy needed.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace megate::ssp {
+
+/// Fingerprint of one stage-2 solve's inputs (beyond the slot id).
+struct PairSolveKey {
+  std::uint64_t demand_hash = 0;  ///< pair's flow list (demands+qos), bitwise
+  std::uint64_t alloc_hash = 0;   ///< F_{k,t} vector, bitwise
+
+  bool operator==(const PairSolveKey&) const = default;
+};
+
+/// Cached result: tunnel index (or -1) per view flow, in view order.
+struct PairSolveEntry {
+  std::vector<std::int32_t> assignment;
+};
+
+struct PairMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidations = 0;  ///< invalidate_all calls on a live cache
+};
+
+class PairMemoCache {
+ public:
+  /// Returns the cached entry for `slot` when the stored key matches, else
+  /// nullptr. Counts a hit or miss either way.
+  const PairSolveEntry* lookup(std::uint64_t slot, const PairSolveKey& key);
+
+  /// Stores (replaces) the entry for `slot`.
+  void insert(std::uint64_t slot, const PairSolveKey& key,
+              PairSolveEntry entry);
+
+  /// Drops every entry. Called on any topology/capacity change; counted in
+  /// stats().invalidations when the cache was non-empty.
+  void invalidate_all();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const PairMemoStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Slot {
+    PairSolveKey key;
+    PairSolveEntry entry;
+  };
+  std::unordered_map<std::uint64_t, Slot> entries_;
+  PairMemoStats stats_;
+};
+
+}  // namespace megate::ssp

@@ -1,0 +1,29 @@
+#include "megate/ssp/memo.h"
+
+#include <utility>
+
+namespace megate::ssp {
+
+const PairSolveEntry* PairMemoCache::lookup(std::uint64_t slot,
+                                            const PairSolveKey& key) {
+  auto it = entries_.find(slot);
+  if (it == entries_.end() || !(it->second.key == key)) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.entry;
+}
+
+void PairMemoCache::insert(std::uint64_t slot, const PairSolveKey& key,
+                           PairSolveEntry entry) {
+  entries_[slot] = Slot{key, std::move(entry)};
+  ++stats_.insertions;
+}
+
+void PairMemoCache::invalidate_all() {
+  if (!entries_.empty()) ++stats_.invalidations;
+  entries_.clear();
+}
+
+}  // namespace megate::ssp

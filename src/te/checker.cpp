@@ -34,6 +34,24 @@ std::vector<double> link_usage_gbps(const TeProblem& problem,
   return usage;
 }
 
+std::array<double, 3> satisfied_by_class(const TeProblem& problem,
+                                         const TeSolution& sol) {
+  std::array<double, 3> satisfied = {0.0, 0.0, 0.0};
+  for (const auto& [pair, alloc] : sol.pairs) {
+    if (alloc.flow_tunnel.empty()) continue;
+    auto it = problem.traffic->pairs().find(pair);
+    if (it == problem.traffic->pairs().end()) continue;
+    const auto& flows = it->second;
+    for (std::size_t i = 0;
+         i < flows.size() && i < alloc.flow_tunnel.size(); ++i) {
+      if (alloc.flow_tunnel[i] < 0) continue;
+      const auto q = static_cast<std::size_t>(flows[i].qos);
+      if (q >= 1 && q <= 3) satisfied[q - 1] += flows[i].demand_gbps;
+    }
+  }
+  return satisfied;
+}
+
 CheckResult check_solution(const TeProblem& problem, const TeSolution& sol,
                            const CheckOptions& options) {
   CheckResult res;

@@ -4,6 +4,7 @@
 // aggregated tunnel allocations consistent with assigned flows.
 // Every solver's output goes through this in tests and benches.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -35,5 +36,12 @@ CheckResult check_solution(const TeProblem& problem, const TeSolution& sol,
 /// F_{k,t} allocations otherwise.
 std::vector<double> link_usage_gbps(const TeProblem& problem,
                                     const TeSolution& sol);
+
+/// Satisfied demand per QoS class, index 0..2 for kClass1..kClass3.
+/// Requires flow_tunnel assignments (endpoint-granular solvers); pairs
+/// without them contribute nothing. The differential incremental tests
+/// compare these totals between cold and incremental solves.
+std::array<double, 3> satisfied_by_class(const TeProblem& problem,
+                                         const TeSolution& sol);
 
 }  // namespace megate::te

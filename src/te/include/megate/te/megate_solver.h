@@ -12,12 +12,27 @@
 //
 // Endpoint flows are indivisible: every flow ends on exactly one tunnel or
 // is rejected, satisfying constraints (1b)/(1c) by construction.
+//
+// Incremental solving (solve_incremental): successive TE intervals move
+// only a fraction of the demand, so the solver retains per-interval state —
+// pair demand fingerprints (tm::diff_traffic), a per-(pair, round) stage-2
+// memo (ssp::PairMemoCache) keyed by bitwise demand + F_{k,t} hashes, and
+// one lp::SimplexWarmState per QoS round. Any topology or capacity change
+// (link up/down, derate, tunnel repair — i.e. every fault-injector event)
+// flips the topology fingerprint and drops all retained state. See
+// DESIGN.md "Incremental solving across intervals".
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 
+#include "megate/lp/simplex.h"
 #include "megate/ssp/fast_ssp.h"
+#include "megate/ssp/memo.h"
 #include "megate/te/site_lp.h"
 #include "megate/te/types.h"
+#include "megate/tm/delta.h"
+#include "megate/util/thread_pool.h"
 
 namespace megate::te {
 
@@ -44,6 +59,21 @@ struct MegaTeOptions {
   bool residual_repair = true;
 };
 
+/// Telemetry of the last solve_incremental call.
+struct IncrementalStats {
+  /// False when the call ran as a cold solve (first interval, explicit
+  /// reset, or a topology change that dropped the retained state).
+  bool used_incremental = false;
+  std::size_t dirty_pairs = 0;  ///< pairs whose demand fingerprint moved
+  std::size_t clean_pairs = 0;
+  std::size_t ssp_cache_hits = 0;    ///< stage-2 solves replayed from memo
+  std::size_t ssp_cache_misses = 0;  ///< stage-2 solves recomputed
+  std::size_t cache_invalidations = 0;  ///< full drops (topology change)
+  std::size_t warm_start_rounds = 0;  ///< stage-1 LPs resolved with 0 pivots
+  std::size_t cold_lp_rounds = 0;     ///< stage-1 LPs pivoted from scratch
+  std::size_t lp_iterations = 0;      ///< total simplex pivots this solve
+};
+
 class MegaTeSolver final : public Solver {
  public:
   explicit MegaTeSolver(MegaTeOptions options = {})
@@ -52,14 +82,59 @@ class MegaTeSolver final : public Solver {
   std::string name() const override { return "MegaTE"; }
   TeSolution solve(const TeProblem& problem) override;
 
+  /// Incremental variant of solve(): identical feasible output (same
+  /// check_solution guarantees; per-QoS satisfied demand matches the cold
+  /// solve — enforced by tests/incremental_test.cpp), but reuses state
+  /// retained from the previous interval where the inputs are bitwise
+  /// unchanged. `prev` optionally names the previous interval's problem;
+  /// it is only needed to seed the demand delta when this solver has no
+  /// retained state yet (e.g. the previous interval was solved elsewhere).
+  /// Falls back to a cold solve — never to a wrong answer — whenever the
+  /// topology fingerprint moved or a cached key mismatches.
+  TeSolution solve_incremental(const TeProblem& problem,
+                               const TeProblem* prev = nullptr);
+
+  /// Drops all state retained for solve_incremental (memo, warm bases,
+  /// fingerprints). The next solve_incremental call runs cold.
+  void reset_incremental();
+
+  /// Replaces the solver options. Drops incremental state (options change
+  /// the solve itself) and rebuilds the thread pool if `threads` changed.
+  void set_options(const MegaTeOptions& options);
+  const MegaTeOptions& options() const noexcept { return options_; }
+
+  /// The solver's worker pool, created lazily on first use and reused
+  /// across solves (rebuilt only when set_options changes `threads`).
+  util::ThreadPool& thread_pool();
+
   /// Wall-clock split of the last solve, for the Fig. 9 discussion.
   double last_stage1_seconds() const noexcept { return stage1_s_; }
   double last_stage2_seconds() const noexcept { return stage2_s_; }
 
+  /// Telemetry of the last solve_incremental call (reset each call).
+  const IncrementalStats& last_incremental_stats() const noexcept {
+    return inc_stats_;
+  }
+
  private:
+  /// State retained between solve_incremental calls.
+  struct IncrementalState {
+    bool valid = false;
+    std::uint64_t topo_fp = 0;          ///< links + tunnels + epsilon
+    tm::PairFingerprintMap pair_fps;    ///< previous interval's demands
+    std::vector<lp::SimplexWarmState> warm;  ///< one per QoS round
+    ssp::PairMemoCache memo;
+  };
+
+  TeSolution solve_impl(const TeProblem& problem, bool incremental);
+
   MegaTeOptions options_;
   double stage1_s_ = 0.0;
   double stage2_s_ = 0.0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::size_t pool_threads_ = 0;
+  IncrementalStats inc_stats_;
+  IncrementalState inc_state_;
 };
 
 }  // namespace megate::te

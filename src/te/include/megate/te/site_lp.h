@@ -13,8 +13,13 @@
 #include <vector>
 
 #include "megate/lp/model.h"
+#include "megate/lp/simplex.h"
 #include "megate/topo/graph.h"
 #include "megate/topo/tunnels.h"
+
+namespace megate::util {
+class ThreadPool;
+}
 
 namespace megate::te {
 
@@ -38,18 +43,29 @@ struct SiteLpResult {
   std::size_t num_variables = 0;
   std::size_t num_constraints = 0;
   bool used_simplex = false;
+  /// True when the simplex backend reused a prior basis with zero pivots.
+  bool warm_start_used = false;
 };
 
 /// Solves MaxSiteFlow for the given site-level demands D_k.
 /// `capacity_override`, when non-empty, replaces each link's capacity
 /// (used by the QoS-sequenced solve on residual capacity); entries must be
 /// >= 0 and the vector must have one entry per link.
+///
+/// `warm` / `warm_out` thread an optimal-basis snapshot through the simplex
+/// backend (see lp::SimplexWarmState): across TE intervals the model is
+/// structurally identical and only the rhs (residual capacities, site
+/// demands) moves, so the prior basis often stays optimal and the LP
+/// resolves with zero pivots. Ignored by the packing backend, which clears
+/// `warm_out` so a stale basis is never replayed against it.
 SiteLpResult solve_max_site_flow(
     const topo::Graph& g, const topo::TunnelSet& tunnels,
     const std::unordered_map<topo::SitePair, double, topo::SitePairHash>&
         site_demands,
     const std::vector<double>& capacity_override, double epsilon,
-    const SiteLpOptions& options = {});
+    const SiteLpOptions& options = {},
+    const lp::SimplexWarmState* warm = nullptr,
+    lp::SimplexWarmState* warm_out = nullptr);
 
 /// §8 extension ("Accelerating MaxSiteFlow solving"): NCFlow-style
 /// contraction applied to the *first stage only*. Sites are grouped into
@@ -59,12 +75,14 @@ SiteLpResult solve_max_site_flow(
 /// solved in parallel (`threads`, 0 = hardware) and merged. Trades a few
 /// percent of LP objective for a near-linear latency cut on topologies
 /// with many sites — quantified by bench/ablation_stage1.
+/// When `pool` is non-null the buckets run on it and `threads` is ignored,
+/// so callers that solve every interval can reuse one pool.
 SiteLpResult solve_max_site_flow_clustered(
     const topo::Graph& g, const topo::TunnelSet& tunnels,
     const std::unordered_map<topo::SitePair, double, topo::SitePairHash>&
         site_demands,
     const std::vector<double>& capacity_override, double epsilon,
     std::size_t clusters, const SiteLpOptions& options = {},
-    std::size_t threads = 0);
+    std::size_t threads = 0, util::ThreadPool* pool = nullptr);
 
 }  // namespace megate::te

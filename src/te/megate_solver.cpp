@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 #include "megate/util/stopwatch.h"
-#include "megate/util/thread_pool.h"
 
 namespace megate::te {
 namespace {
@@ -29,9 +29,210 @@ ClassView class_view(const std::vector<tm::EndpointDemand>& flows,
   return view;
 }
 
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  return fnv1a_bytes(h, &v, sizeof(v));
+}
+
+inline std::uint64_t fnv1a_double(std::uint64_t h, double d) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv1a_u64(h, bits);
+}
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Bitwise fingerprint of a double vector (size + every value). Hashes a
+/// word per element, not a byte — these run over every flow demand of
+/// every pair each interval, so they must stay a fraction of FastSSP.
+std::uint64_t hash_doubles(const std::vector<double>& v) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ mix64(v.size());
+  for (double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h = (h ^ mix64(bits)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Memo slot id for one (site pair, QoS round).
+std::uint64_t pair_round_slot(const topo::SitePair& pair,
+                              std::size_t round) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a_u64(h, pair.src);
+  h = fnv1a_u64(h, pair.dst);
+  h = fnv1a_u64(h, round);
+  return h;
+}
+
+/// Fingerprint of everything the solve depends on besides the traffic
+/// matrix: link states and capacities, the tunnel sets, and epsilon (it
+/// enters the LP objective). Any change — a fault-injector link failure,
+/// a capacity derate, a tunnel repair — moves this value and forces the
+/// incremental state to be dropped.
+std::uint64_t topology_fingerprint(const topo::Graph& g,
+                                   const topo::TunnelSet& tunnels,
+                                   double epsilon) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a_double(h, epsilon);
+  h = fnv1a_u64(h, g.num_links());
+  for (topo::EdgeId e = 0; e < g.num_links(); ++e) {
+    const topo::Link& l = g.link(e);
+    h = fnv1a_u64(h, l.up ? 1 : 0);
+    h = fnv1a_double(h, l.capacity_gbps);
+  }
+  // TunnelSet iteration order is unspecified; combine the per-pair hashes
+  // commutatively so equal tunnel sets always fingerprint equal.
+  std::uint64_t pairs_h = 0;
+  for (const auto& [pair, ts] : tunnels.all()) {
+    std::uint64_t ph = 0xCBF29CE484222325ULL;
+    ph = fnv1a_u64(ph, pair.src);
+    ph = fnv1a_u64(ph, pair.dst);
+    ph = fnv1a_u64(ph, ts.size());
+    for (const topo::Tunnel& t : ts) {
+      ph = fnv1a_u64(ph, t.links.size());
+      for (topo::EdgeId e : t.links) ph = fnv1a_u64(ph, e);
+      ph = fnv1a_double(ph, t.weight);
+    }
+    pairs_h ^= ph;
+  }
+  return h ^ pairs_h;
+}
+
+/// Stage-2 MaxEndpointFlow for one pair and QoS round: tunnels in
+/// ascending weight (the tunnel list is already sorted by weight) —
+/// Appendix A.2: FastSSP is run sequentially, shorter tunnels first, each
+/// building on the remaining demand set. Returns the chosen tunnel per
+/// view flow (-1 = rejected); writes nothing shared, so it can run in
+/// parallel across pairs and its result can be memoized verbatim.
+std::vector<std::int32_t> solve_pair_stage2(
+    const ClassView& view, const std::vector<double>& f_kt,
+    std::size_t num_tunnels, const ssp::FastSspOptions& options) {
+  std::vector<std::int32_t> assignment(view.flow_ids.size(), -1);
+  std::vector<char> assigned(view.flow_ids.size(), 0);
+  for (std::size_t t = 0; t < num_tunnels && t < f_kt.size(); ++t) {
+    if (f_kt[t] <= 0.0) continue;
+    // Demands still unassigned in this round.
+    std::vector<double> remaining;
+    std::vector<std::size_t> remaining_pos;
+    for (std::size_t i = 0; i < view.flow_ids.size(); ++i) {
+      if (!assigned[i]) {
+        remaining.push_back(view.demands[i]);
+        remaining_pos.push_back(i);
+      }
+    }
+    if (remaining.empty()) break;
+    ssp::Selection picked = ssp::fast_ssp(remaining, f_kt[t], options);
+    for (std::size_t sel : picked.indices) {
+      const std::size_t local = remaining_pos[sel];
+      assigned[local] = 1;
+      assignment[local] = static_cast<std::int32_t>(t);
+    }
+  }
+  return assignment;
+}
+
+/// Replays a per-view assignment onto the pair's allocation. Iterating in
+/// ascending view order reproduces bit-for-bit the accumulation order of
+/// the pre-refactor inline loop (per tunnel cell, contributions arrive in
+/// ascending flow order either way).
+void apply_assignment(const ClassView& view,
+                      const std::vector<std::int32_t>& assignment,
+                      PairAllocation& alloc) {
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const std::int32_t t = assignment[i];
+    if (t < 0) continue;
+    alloc.flow_tunnel[view.flow_ids[i]] = t;
+    alloc.tunnel_alloc[t] += view.demands[i];
+  }
+}
+
 }  // namespace
 
+util::ThreadPool& MegaTeSolver::thread_pool() {
+  if (!pool_ || pool_threads_ != options_.threads) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    pool_threads_ = options_.threads;
+  }
+  return *pool_;
+}
+
+void MegaTeSolver::set_options(const MegaTeOptions& options) {
+  if (options.threads != options_.threads) pool_.reset();
+  options_ = options;
+  reset_incremental();
+}
+
+void MegaTeSolver::reset_incremental() { inc_state_ = IncrementalState{}; }
+
 TeSolution MegaTeSolver::solve(const TeProblem& problem) {
+  return solve_impl(problem, false);
+}
+
+TeSolution MegaTeSolver::solve_incremental(const TeProblem& problem,
+                                           const TeProblem* prev) {
+  if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
+  inc_stats_ = IncrementalStats{};
+
+  const std::uint64_t fp = topology_fingerprint(
+      *problem.graph, *problem.tunnels, problem.epsilon);
+  if (inc_state_.valid && inc_state_.topo_fp != fp) {
+    // Topology or capacity moved (fault event, repair, derate): every
+    // cached result was computed against a different network — drop all.
+    inc_state_.memo.invalidate_all();
+    inc_state_ = IncrementalState{};
+    ++inc_stats_.cache_invalidations;
+  }
+  tm::PairFingerprintMap prev_fps = std::move(inc_state_.pair_fps);
+  if (prev_fps.empty() && prev != nullptr && prev->valid()) {
+    // No retained state (first call, or the caller solved the previous
+    // interval elsewhere): the previous traffic matrix still seeds the
+    // demand delta, provided it was paired with this very topology.
+    if (topology_fingerprint(*prev->graph, *prev->tunnels, prev->epsilon) ==
+        fp) {
+      prev_fps = tm::fingerprint_pairs(*prev->traffic);
+    }
+  }
+
+  // Fingerprint the new matrix exactly once: the same map serves the
+  // delta classification, keys the stage-2 memo during solve_impl (which
+  // is why it must land in inc_state_ *before* the solve), and becomes
+  // the comparison baseline for the next interval.
+  inc_state_.pair_fps = tm::fingerprint_pairs(*problem.traffic);
+  if (!prev_fps.empty()) {
+    const tm::DemandDelta delta =
+        tm::diff_traffic(prev_fps, inc_state_.pair_fps);
+    inc_stats_.dirty_pairs = delta.dirty_pairs();
+    inc_stats_.clean_pairs = delta.clean_pairs;
+  }
+  inc_stats_.used_incremental = inc_state_.valid;
+
+  TeSolution sol = solve_impl(problem, true);
+
+  inc_state_.topo_fp = fp;
+  inc_state_.valid = true;
+  return sol;
+}
+
+TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
+                                    bool incremental) {
   if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
   const topo::Graph& g = *problem.graph;
   const topo::TunnelSet& tunnels = *problem.tunnels;
@@ -62,11 +263,17 @@ TeSolution MegaTeSolver::solve(const TeProblem& problem) {
     residual[e] = g.link(e).up ? g.link(e).capacity_gbps : 0.0;
   }
 
-  util::ThreadPool pool(options_.threads);
+  util::ThreadPool& pool = thread_pool();
   const bool sequencing = options_.qos_sequencing;
   const std::array<tm::QosClass, 3> rounds = {
       tm::QosClass::kClass1, tm::QosClass::kClass2, tm::QosClass::kClass3};
   const std::size_t num_rounds = sequencing ? rounds.size() : 1;
+
+  // Per-round warm bases captured this solve, replacing inc_state_.warm at
+  // the end (indexing by round number stays aligned across intervals even
+  // when a round is skipped: its slot just stays invalid).
+  std::vector<lp::SimplexWarmState> new_warm;
+  if (incremental) new_warm.resize(num_rounds);
 
   for (std::size_t round = 0; round < num_rounds; ++round) {
     const tm::QosClass qos = rounds[round];
@@ -84,58 +291,125 @@ TeSolution MegaTeSolver::solve(const TeProblem& problem) {
 
     // --- Stage 1: MaxSiteFlow on residual capacity ---
     util::Stopwatch s1;
+    const lp::SimplexWarmState* warm_in = nullptr;
+    lp::SimplexWarmState* warm_out = nullptr;
+    if (incremental) {
+      if (inc_state_.valid && round < inc_state_.warm.size() &&
+          inc_state_.warm[round].valid()) {
+        warm_in = &inc_state_.warm[round];
+      }
+      warm_out = &new_warm[round];
+    }
     SiteLpResult lp =
         options_.stage1_clusters > 1
             ? solve_max_site_flow_clustered(
                   g, tunnels, d_k, residual, problem.epsilon,
                   options_.stage1_clusters, options_.site_lp,
-                  options_.threads)
+                  options_.threads, &pool)
             : solve_max_site_flow(g, tunnels, d_k, residual,
-                                  problem.epsilon, options_.site_lp);
+                                  problem.epsilon, options_.site_lp,
+                                  warm_in, warm_out);
     stage1_s_ += s1.elapsed_seconds();
     sol.iterations += lp.iterations;
+    if (incremental) {
+      if (lp.warm_start_used) {
+        ++inc_stats_.warm_start_rounds;
+      } else {
+        ++inc_stats_.cold_lp_rounds;
+      }
+      inc_stats_.lp_iterations += lp.iterations;
+    }
 
     // --- Stage 2: per-pair FastSSP, parallel across site pairs ---
     util::Stopwatch s2;
-    pool.parallel_for(pair_ids.size(), [&](std::size_t p) {
-      const topo::SitePair pair = pair_ids[p];
-      auto lp_it = lp.alloc.find(pair);
-      if (lp_it == lp.alloc.end()) return;
-      const auto& f_kt = lp_it->second;
-      const auto& ts = tunnels.tunnels(pair.src, pair.dst);
-      // All pairs were pre-created above; find() avoids a concurrent
-      // operator[] insert on the shared map.
-      PairAllocation& alloc = sol.pairs.find(pair)->second;
-
-      ClassView view = class_view(*pair_flows[p], qos, sequencing);
-      std::vector<char> assigned(view.flow_ids.size(), 0);
-
-      // Tunnels in ascending weight (ts is already sorted by weight) —
-      // Appendix A.2: MaxEndpointFlow is solved sequentially, shorter
-      // tunnels first, each building on the remaining demand set.
-      for (std::size_t t = 0; t < ts.size() && t < f_kt.size(); ++t) {
-        if (f_kt[t] <= 0.0) continue;
-        // Demands still unassigned in this round.
-        std::vector<double> remaining;
-        std::vector<std::size_t> remaining_pos;
-        for (std::size_t i = 0; i < view.flow_ids.size(); ++i) {
-          if (!assigned[i]) {
-            remaining.push_back(view.demands[i]);
-            remaining_pos.push_back(i);
-          }
-        }
-        if (remaining.empty()) break;
-        ssp::Selection picked =
-            ssp::fast_ssp(remaining, f_kt[t], options_.fast_ssp);
-        for (std::size_t sel : picked.indices) {
-          const std::size_t local = remaining_pos[sel];
-          assigned[local] = 1;
-          alloc.flow_tunnel[view.flow_ids[local]] =
-              static_cast<std::int32_t>(t);
-          alloc.tunnel_alloc[t] += view.demands[local];
+    if (!incremental) {
+      pool.parallel_for(pair_ids.size(), [&](std::size_t p) {
+        const topo::SitePair pair = pair_ids[p];
+        auto lp_it = lp.alloc.find(pair);
+        if (lp_it == lp.alloc.end()) return;
+        const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+        // All pairs were pre-created above; find() avoids a concurrent
+        // operator[] insert on the shared map.
+        PairAllocation& alloc = sol.pairs.find(pair)->second;
+        const ClassView view = class_view(*pair_flows[p], qos, sequencing);
+        apply_assignment(view,
+                         solve_pair_stage2(view, lp_it->second, ts.size(),
+                                           options_.fast_ssp),
+                         alloc);
+      });
+    } else {
+      // Memoized stage 2. The memo key reuses the delta pass's per-pair
+      // flow-list fingerprint (inc_state_.pair_fps holds the *current*
+      // interval's map at this point) plus the bitwise hash of this
+      // round's F_{k,t}, so the serial probe phase is O(1) per pair.
+      // Hits replay their cached assignment straight off the flow list —
+      // no ClassView is materialized — walking flows in the same
+      // ascending order as apply_assignment, which keeps the tunnel_alloc
+      // accumulation bitwise identical to a recompute. Only the probes
+      // and inserts are serial (lock-free memo, deterministic insertion
+      // order); the O(flows) work runs under the pool like the cold path.
+      struct PairWork {
+        ClassView view;  // built only for misses
+        const std::vector<tm::EndpointDemand>* flows = nullptr;
+        const std::vector<double>* f_kt = nullptr;
+        std::size_t num_tunnels = 0;
+        std::uint64_t slot = 0;
+        ssp::PairSolveKey key;
+        const ssp::PairSolveEntry* hit = nullptr;
+        std::vector<std::int32_t> assignment;
+      };
+      std::vector<PairWork> work(pair_ids.size());
+      for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+        const topo::SitePair pair = pair_ids[p];
+        auto lp_it = lp.alloc.find(pair);
+        if (lp_it == lp.alloc.end()) continue;
+        PairWork& w = work[p];
+        w.flows = pair_flows[p];
+        w.f_kt = &lp_it->second;
+        w.num_tunnels = tunnels.tunnels(pair.src, pair.dst).size();
+        w.slot = pair_round_slot(pair, round);
+        w.key.demand_hash = inc_state_.pair_fps.at(pair).hash;
+        w.key.alloc_hash = hash_doubles(*w.f_kt);
+        // Entry pointers stay valid until the insert loop below, and all
+        // applies happen before any insert.
+        w.hit = inc_state_.memo.lookup(w.slot, w.key);
+        if (w.hit != nullptr) {
+          ++inc_stats_.ssp_cache_hits;
+        } else {
+          ++inc_stats_.ssp_cache_misses;
         }
       }
-    });
+      pool.parallel_for(work.size(), [&](std::size_t p) {
+        PairWork& w = work[p];
+        if (w.f_kt == nullptr) return;
+        PairAllocation& alloc = sol.pairs.find(pair_ids[p])->second;
+        if (w.hit == nullptr) {
+          w.view = class_view(*w.flows, qos, sequencing);
+          w.assignment = solve_pair_stage2(w.view, *w.f_kt, w.num_tunnels,
+                                           options_.fast_ssp);
+          apply_assignment(w.view, w.assignment, alloc);
+          return;
+        }
+        // Hit: the cached assignment is indexed by view position; the
+        // class filter below enumerates exactly class_view's positions.
+        const auto& flows = *w.flows;
+        std::size_t vi = 0;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (sequencing && flows[i].qos != qos) continue;
+          const std::int32_t t = w.hit->assignment[vi++];
+          if (t >= 0) {
+            alloc.flow_tunnel[i] = t;
+            alloc.tunnel_alloc[t] += flows[i].demand_gbps;
+          }
+        }
+      });
+      for (std::size_t p = 0; p < pair_ids.size(); ++p) {
+        PairWork& w = work[p];
+        if (w.f_kt == nullptr || w.hit != nullptr) continue;
+        inc_state_.memo.insert(w.slot, w.key,
+                               ssp::PairSolveEntry{std::move(w.assignment)});
+      }
+    }
     stage2_s_ += s2.elapsed_seconds();
 
     // --- Update residual capacities with the *assigned* traffic ---
@@ -198,6 +472,8 @@ TeSolution MegaTeSolver::solve(const TeProblem& problem) {
       }
     }
   }
+
+  if (incremental) inc_state_.warm = std::move(new_warm);
 
   // Satisfied demand = sum of assigned flows.
   double satisfied = 0.0;

@@ -1,6 +1,7 @@
 #include "megate/te/site_lp.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
@@ -16,7 +17,8 @@ SiteLpResult solve_max_site_flow(
     const std::unordered_map<topo::SitePair, double, topo::SitePairHash>&
         site_demands,
     const std::vector<double>& capacity_override, double epsilon,
-    const SiteLpOptions& options) {
+    const SiteLpOptions& options, const lp::SimplexWarmState* warm,
+    lp::SimplexWarmState* warm_out) {
   if (!capacity_override.empty() &&
       capacity_override.size() != g.num_links()) {
     throw std::invalid_argument(
@@ -78,6 +80,7 @@ SiteLpResult solve_max_site_flow(
   result.num_constraints = model.num_constraints();
   if (model.num_variables() == 0) {
     result.status = lp::Status::kOptimal;
+    if (warm_out != nullptr) warm_out->clear();
     return result;
   }
 
@@ -93,18 +96,20 @@ SiteLpResult solve_max_site_flow(
   lp::Solution lp_sol;
   if (use_simplex) {
     lp::SimplexSolver solver;
-    lp_sol = solver.solve(model);
+    lp_sol = solver.solve(model, warm, warm_out);
     result.used_simplex = true;
   } else {
     lp::PackingOptions popt;
     popt.epsilon = options.packing_epsilon;
     lp::PackingSolver solver(popt);
     lp_sol = solver.solve(model);
+    if (warm_out != nullptr) warm_out->clear();
   }
 
   result.status = lp_sol.status;
   result.objective = lp_sol.objective;
   result.iterations = lp_sol.iterations;
+  result.warm_start_used = lp_sol.warm_start_used;
 
   for (std::size_t j = 0; j < var_refs.size(); ++j) {
     const VarRef& ref = var_refs[j];
@@ -124,7 +129,7 @@ SiteLpResult solve_max_site_flow_clustered(
         site_demands,
     const std::vector<double>& capacity_override, double epsilon,
     std::size_t clusters, const SiteLpOptions& options,
-    std::size_t threads) {
+    std::size_t threads, util::ThreadPool* pool) {
   if (clusters < 2) {
     return solve_max_site_flow(g, tunnels, site_demands, capacity_override,
                                epsilon, options);
@@ -178,8 +183,12 @@ SiteLpResult solve_max_site_flow_clustered(
   for (const auto& [key, b] : buckets) bucket_list.push_back(&b);
   std::vector<SiteLpResult> partial(bucket_list.size());
 
-  util::ThreadPool pool(threads);
-  pool.parallel_for(bucket_list.size(), [&](std::size_t i) {
+  std::unique_ptr<util::ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<util::ThreadPool>(threads);
+    pool = owned.get();
+  }
+  pool->parallel_for(bucket_list.size(), [&](std::size_t i) {
     const Bucket& b = *bucket_list[i];
     std::vector<double> caps(g.num_links(), 0.0);
     for (topo::EdgeId e = 0; e < g.num_links(); ++e) {

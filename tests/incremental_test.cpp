@@ -1,0 +1,535 @@
+// Differential testing of the incremental solving layer (ISSUE tentpole):
+//
+//   1. Equivalence: across ~100 seeded multi-interval scenarios with
+//      low-churn demand evolution, MegaTeSolver::solve_incremental must
+//      pass te::check_solution and match a cold solve's per-QoS-class
+//      satisfied demand within 1e-9 relative — including runs where
+//      fault-plan link failures strike between intervals. On failure the
+//      harness shrinks the scenario like property_test.cpp and reports the
+//      smallest still-failing config with its exact seed.
+//
+//   2. Invalidation: replaying PR 1's fault machinery (FaultPlan link
+//      failures via the FaultInjector, capacity derates, shard crashes)
+//      must drop the memo exactly when the topology moved — a stage-2
+//      cache hit right after a topology event is a test failure, and a
+//      shard-only fault (no topology change) must NOT cost the cache.
+//
+//   3. Parity: the chaos loop and the period simulation produce the same
+//      results with incremental solving on and off (bit-identical chaos
+//      fingerprint; per-period carriage within 1e-9).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "megate/ctrl/kvstore.h"
+#include "megate/fault/chaos.h"
+#include "megate/fault/fault_plan.h"
+#include "megate/fault/injector.h"
+#include "megate/sim/period_sim.h"
+#include "megate/te/checker.h"
+#include "megate/te/megate_solver.h"
+#include "megate/tm/delta.h"
+#include "megate/util/rng.h"
+#include "test_helpers.h"
+
+namespace megate {
+namespace {
+
+/// Evolves a traffic matrix by one interval: each flow keeps its identity
+/// and QoS class; about `churn` of them rescale their demand. Seeded per
+/// flow, so the evolution is independent of container iteration order.
+tm::TrafficMatrix evolve_traffic(const tm::TrafficMatrix& prev, double churn,
+                                 std::uint64_t seed) {
+  tm::TrafficMatrix out;
+  for (const auto& [pair, flows] : prev.pairs()) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      tm::EndpointDemand d = flows[i];
+      util::Rng rng(seed ^ (d.src * 0x9E3779B97F4A7C15ULL) ^
+                    (d.dst * 0xBF58476D1CE4E5B9ULL) ^ i);
+      if (rng.uniform() < churn) {
+        d.demand_gbps *= 0.5 + rng.uniform();  // 0.5x .. 1.5x
+      }
+      out.add(d);
+    }
+  }
+  return out;
+}
+
+/// One randomized multi-interval scenario, fully determined by a seed.
+struct CaseConfig {
+  std::uint64_t seed = 0;
+  std::uint32_t sites = 6;
+  std::uint32_t links = 9;
+  std::uint32_t eps_per_site = 2;
+  double load = 0.2;
+  std::size_t intervals = 5;
+  double churn = 0.1;
+  /// Fail one duplex link from this interval on (~none when >= intervals).
+  std::size_t fault_interval = ~std::size_t{0};
+
+  std::string describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "Scenario{seed=%llu, sites=%u, links=%u, eps=%u, "
+                  "load=%.3f, intervals=%zu, churn=%.2f, fault_at=%zd}",
+                  static_cast<unsigned long long>(seed), sites, links,
+                  eps_per_site, load, intervals, churn,
+                  fault_interval == ~std::size_t{0}
+                      ? static_cast<std::ptrdiff_t>(-1)
+                      : static_cast<std::ptrdiff_t>(fault_interval));
+    return buf;
+  }
+};
+
+CaseConfig random_case(std::uint64_t seed) {
+  util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 17);
+  CaseConfig c;
+  c.seed = seed;
+  c.sites = static_cast<std::uint32_t>(rng.uniform_int(4, 8));
+  c.links =
+      c.sites + static_cast<std::uint32_t>(rng.uniform_int(0, c.sites));
+  c.eps_per_site = static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+  c.load = 0.1 + 0.3 * rng.uniform();   // 0.1 .. 0.4
+  c.churn = 0.05 + 0.2 * rng.uniform();  // low-churn regime
+  c.intervals = 5;
+  // A third of the scenarios take a mid-run link failure, exercising the
+  // invalidate-then-reprime path inside the differential comparison.
+  if (rng.uniform() < 0.33) {
+    c.fault_interval = 2;
+  }
+  return c;
+}
+
+bool within_rel(double a, double b, double rel) {
+  return std::abs(a - b) <= rel * std::max(1.0, std::max(std::abs(a),
+                                                         std::abs(b)));
+}
+
+/// Runs one scenario: interval 0 primes the incremental solver cold; each
+/// later interval evolves demand, then solves both incrementally (one
+/// retained solver) and cold (fresh state), comparing validity and
+/// per-QoS satisfied demand. Returns the first violation, if any.
+std::optional<std::string> run_case(const CaseConfig& c) {
+  auto s = testing::make_scenario(c.sites, c.links, c.eps_per_site, c.load,
+                                  c.seed);
+  te::MegaTeSolver inc_solver;
+  te::MegaTeSolver cold_solver;
+  tm::TrafficMatrix current = s->traffic;
+  const topo::TunnelSet pristine = s->tunnels;
+
+  for (std::size_t interval = 0; interval < c.intervals; ++interval) {
+    if (interval > 0) {
+      current = evolve_traffic(current, c.churn,
+                               c.seed * 1000003ULL + interval);
+    }
+    if (interval == c.fault_interval) {
+      // Fail the first duplex pair and repair tunnels, as the fault
+      // harness does — the incremental solver must notice by itself.
+      if (s->graph.num_links() >= 2) {
+        s->graph.set_link_state(0, false);
+        s->graph.set_link_state(1, false);
+        s->tunnels = pristine;
+        topo::repair_tunnels(s->graph, s->tunnels);
+      }
+    }
+
+    te::TeProblem problem = s->problem();
+    problem.traffic = &current;
+
+    const te::TeSolution inc = inc_solver.solve_incremental(problem);
+    const te::TeSolution cold = cold_solver.solve(problem);
+
+    te::CheckOptions copt;
+    copt.capacity_tolerance = 1e-6;
+    copt.require_flow_assignment = true;
+    const te::CheckResult check = te::check_solution(problem, inc, copt);
+    if (!check.ok) {
+      return c.describe() + ": interval " + std::to_string(interval) +
+             " incremental solution violates constraints: " +
+             check.violations.front();
+    }
+
+    const auto inc_q = te::satisfied_by_class(problem, inc);
+    const auto cold_q = te::satisfied_by_class(problem, cold);
+    for (std::size_t q = 0; q < 3; ++q) {
+      if (!within_rel(inc_q[q], cold_q[q], 1e-9)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      ": interval %zu class %zu satisfied diverges: "
+                      "incremental %.12f vs cold %.12f Gbps",
+                      interval, q + 1, inc_q[q], cold_q[q]);
+        return c.describe() + buf;
+      }
+    }
+    if (!within_rel(inc.satisfied_gbps, cold.satisfied_gbps, 1e-9)) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    ": interval %zu total satisfied diverges: %.12f vs "
+                    "%.12f Gbps",
+                    interval, inc.satisfied_gbps, cold.satisfied_gbps);
+      return c.describe() + buf;
+    }
+
+    // The fault interval must have dropped every cached stage-2 result:
+    // a memo hit against the failed topology would be a stale replay.
+    const te::IncrementalStats& stats =
+        inc_solver.last_incremental_stats();
+    if (interval == c.fault_interval && stats.ssp_cache_hits > 0) {
+      return c.describe() + ": stale stage-2 memo hit after a link failure";
+    }
+    if (interval == c.fault_interval && interval > 0 &&
+        stats.cache_invalidations == 0) {
+      return c.describe() + ": link failure did not invalidate the cache";
+    }
+  }
+  return std::nullopt;
+}
+
+/// Shrinks a failing case: fewer endpoints first, then fewer sites/links,
+/// then fewer intervals. Returns the smallest still-failing config.
+std::pair<CaseConfig, std::string> shrink(CaseConfig c, std::string error) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::vector<CaseConfig> candidates;
+    if (c.eps_per_site > 1) {
+      CaseConfig d = c;
+      d.eps_per_site -= 1;
+      candidates.push_back(d);
+    }
+    if (c.sites > 3) {
+      CaseConfig d = c;
+      d.sites -= 1;
+      d.links = std::min(d.links, d.sites * 2);
+      candidates.push_back(d);
+    }
+    if (c.links > c.sites) {
+      CaseConfig d = c;
+      d.links -= 1;
+      candidates.push_back(d);
+    }
+    if (c.intervals > 2) {
+      CaseConfig d = c;
+      d.intervals -= 1;
+      if (d.fault_interval >= d.intervals) {
+        d.fault_interval = ~std::size_t{0};
+      }
+      candidates.push_back(d);
+    }
+    for (const CaseConfig& d : candidates) {
+      if (auto err = run_case(d)) {
+        c = d;
+        error = *err;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return {c, error};
+}
+
+TEST(IncrementalDifferential, MatchesColdSolveAcrossRandomScenarios) {
+  constexpr std::uint64_t kSeeds = 100;
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const CaseConfig c = random_case(seed);
+    auto error = run_case(c);
+    if (!error) continue;
+    const auto [smallest, message] = shrink(c, *error);
+    ADD_FAILURE() << "seed " << seed << " failed; shrunk to "
+                  << smallest.describe() << "\n  " << message;
+    if (++failures >= 3) break;  // enough to debug; don't spam
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache behaviour on a fixed scenario.
+// ---------------------------------------------------------------------------
+
+class IncrementalCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = testing::make_scenario(8, 12, 3, 0.15, 11);
+  }
+  std::unique_ptr<testing::Scenario> s_;
+  te::MegaTeSolver solver_;
+};
+
+TEST_F(IncrementalCacheTest, RepeatSolveHitsMemoAndWarmStart) {
+  const te::TeProblem problem = s_->problem();
+  const te::TeSolution first = solver_.solve_incremental(problem);
+  EXPECT_FALSE(solver_.last_incremental_stats().used_incremental);
+  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+
+  const te::TeSolution second = solver_.solve_incremental(problem);
+  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  EXPECT_TRUE(stats.used_incremental);
+  EXPECT_GT(stats.ssp_cache_hits, 0u);
+  EXPECT_EQ(stats.ssp_cache_misses, 0u);
+  EXPECT_EQ(stats.cache_invalidations, 0u);
+  EXPECT_EQ(stats.dirty_pairs, 0u);
+  EXPECT_GT(stats.clean_pairs, 0u);
+  // Unchanged rhs -> every stage-1 round replays its basis with 0 pivots.
+  EXPECT_GT(stats.warm_start_rounds, 0u);
+  EXPECT_EQ(stats.lp_iterations, 0u);
+  // Identical inputs -> bit-identical outputs.
+  EXPECT_EQ(first.satisfied_gbps, second.satisfied_gbps);
+  for (const auto& [pair, alloc] : first.pairs) {
+    const auto it = second.pairs.find(pair);
+    ASSERT_NE(it, second.pairs.end());
+    EXPECT_EQ(alloc.flow_tunnel, it->second.flow_tunnel);
+    EXPECT_EQ(alloc.tunnel_alloc, it->second.tunnel_alloc);
+  }
+}
+
+TEST_F(IncrementalCacheTest, LinkFailureInvalidatesEverything) {
+  const te::TeProblem problem = s_->problem();
+  (void)solver_.solve_incremental(problem);
+  (void)solver_.solve_incremental(problem);
+  ASSERT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+
+  // Duplex link down + tunnel repair, as the fault harness does.
+  s_->graph.set_link_state(0, false);
+  s_->graph.set_link_state(1, false);
+  topo::repair_tunnels(s_->graph, s_->tunnels);
+
+  (void)solver_.solve_incremental(s_->problem());
+  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+  EXPECT_FALSE(stats.used_incremental);
+  EXPECT_EQ(stats.ssp_cache_hits, 0u) << "stale memo hit after link failure";
+
+  // The degraded topology is stable now: the reprimed cache serves hits.
+  (void)solver_.solve_incremental(s_->problem());
+  EXPECT_TRUE(solver_.last_incremental_stats().used_incremental);
+  EXPECT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+
+  // Recovery is a topology change too — the degraded-state cache must go.
+  s_->graph.set_link_state(0, true);
+  s_->graph.set_link_state(1, true);
+  topo::repair_tunnels(s_->graph, s_->tunnels);
+  (void)solver_.solve_incremental(s_->problem());
+  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u)
+      << "stale memo hit after link recovery";
+}
+
+TEST_F(IncrementalCacheTest, CapacityDerateInvalidates) {
+  const te::TeProblem problem = s_->problem();
+  (void)solver_.solve_incremental(problem);
+  (void)solver_.solve_incremental(problem);
+  ASSERT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+
+  s_->graph.link(0).capacity_gbps *= 0.5;
+  (void)solver_.solve_incremental(s_->problem());
+  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+  EXPECT_EQ(stats.ssp_cache_hits, 0u)
+      << "stale memo hit after capacity derate";
+}
+
+TEST_F(IncrementalCacheTest, DemandChangeIsNotAnInvalidation) {
+  te::TeProblem problem = s_->problem();
+  (void)solver_.solve_incremental(problem);
+
+  const tm::TrafficMatrix evolved =
+      evolve_traffic(s_->traffic, 0.2, 99);
+  problem.traffic = &evolved;
+  (void)solver_.solve_incremental(problem);
+  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  EXPECT_TRUE(stats.used_incremental);
+  EXPECT_EQ(stats.cache_invalidations, 0u);
+  EXPECT_GT(stats.dirty_pairs, 0u);
+  EXPECT_GT(stats.clean_pairs, 0u);
+}
+
+TEST_F(IncrementalCacheTest, PrevProblemSeedsTheDemandDelta) {
+  // The previous interval was solved elsewhere: passing its problem still
+  // enables the delta classification (not the memo — nothing was cached).
+  const tm::TrafficMatrix evolved = evolve_traffic(s_->traffic, 0.2, 7);
+  te::TeProblem prev = s_->problem();
+  te::TeProblem next = s_->problem();
+  next.traffic = &evolved;
+
+  (void)solver_.solve_incremental(next, &prev);
+  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  EXPECT_FALSE(stats.used_incremental);
+  EXPECT_GT(stats.clean_pairs, 0u);
+  EXPECT_GT(stats.dirty_pairs + stats.clean_pairs, 0u);
+}
+
+TEST_F(IncrementalCacheTest, ResetDropsRetainedState) {
+  const te::TeProblem problem = s_->problem();
+  (void)solver_.solve_incremental(problem);
+  solver_.reset_incremental();
+  (void)solver_.solve_incremental(problem);
+  EXPECT_FALSE(solver_.last_incremental_stats().used_incremental);
+  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan replay (the PR 1 machinery) against the cache.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalFaultReplay, PlannedLinkFailuresInvalidateOnEveryChange) {
+  auto s = testing::make_scenario(8, 12, 2, 0.15, 21);
+  const topo::TunnelSet pristine = s->tunnels;
+
+  fault::FaultPlanOptions popt;
+  popt.seed = 5;
+  popt.horizon_s = 300.0;
+  popt.quiet_tail_s = 60.0;
+  popt.shard_crashes = 0;
+  popt.link_failures = 2;
+  popt.pull_drop_windows = 0;
+  popt.stale_windows = 0;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(popt, 0, s->graph.num_links() / 2);
+  ASSERT_FALSE(plan.empty());
+
+  fault::FaultInjector::Bindings bind;
+  bind.graph = &s->graph;
+  fault::FaultInjector injector(plan, bind);
+
+  // Sample the timeline right after every event boundary.
+  std::vector<double> times;
+  for (const fault::FaultEvent& e : plan.events()) {
+    times.push_back(e.start_s + 0.5);
+    times.push_back(e.end_s() + 0.5);
+  }
+  std::sort(times.begin(), times.end());
+
+  te::MegaTeSolver solver;
+  (void)solver.solve_incremental(s->problem());  // prime at t=0
+  for (double t : times) {
+    injector.advance_to(t);
+    const bool changed = injector.take_topology_changed();
+    if (changed) {
+      s->tunnels = pristine;
+      topo::repair_tunnels(s->graph, s->tunnels);
+    }
+    (void)solver.solve_incremental(s->problem());
+    const te::IncrementalStats& stats = solver.last_incremental_stats();
+    if (changed) {
+      EXPECT_EQ(stats.ssp_cache_hits, 0u)
+          << "stale memo hit after a topology event at t=" << t;
+      EXPECT_GE(stats.cache_invalidations, 1u)
+          << "topology event at t=" << t << " did not invalidate";
+    } else {
+      EXPECT_TRUE(stats.used_incremental);
+      EXPECT_GT(stats.ssp_cache_hits, 0u);
+    }
+  }
+}
+
+TEST(IncrementalFaultReplay, ShardCrashAndRecoveryKeepTheCache) {
+  auto s = testing::make_scenario(8, 12, 2, 0.15, 22);
+
+  fault::FaultPlanOptions popt;
+  popt.seed = 6;
+  popt.horizon_s = 300.0;
+  popt.quiet_tail_s = 60.0;
+  popt.shard_crashes = 2;
+  popt.link_failures = 0;
+  popt.pull_drop_windows = 0;
+  popt.stale_windows = 0;
+  const fault::FaultPlan plan = fault::FaultPlan::generate(popt, 4, 0);
+  ASSERT_FALSE(plan.empty());
+
+  ctrl::KvStore kv(4);
+  fault::FaultInjector::Bindings bind;
+  bind.store = &kv;
+  bind.graph = &s->graph;
+  fault::FaultInjector injector(plan, bind);
+
+  te::MegaTeSolver solver;
+  (void)solver.solve_incremental(s->problem());
+  for (const fault::FaultEvent& e : plan.events()) {
+    injector.advance_to(e.start_s + 0.5);  // shard down
+    EXPECT_FALSE(injector.take_topology_changed());
+    (void)solver.solve_incremental(s->problem());
+    EXPECT_GT(solver.last_incremental_stats().ssp_cache_hits, 0u)
+        << "control-plane fault must not cost the solver cache";
+    injector.advance_to(e.end_s() + 0.5);  // shard recovered
+    (void)solver.solve_incremental(s->problem());
+    EXPECT_EQ(solver.last_incremental_stats().cache_invalidations, 0u);
+    EXPECT_GT(solver.last_incremental_stats().ssp_cache_hits, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity: chaos loop and period simulation.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalParity, ChaosFingerprintIdenticalWithIncrementalSolving) {
+  // Mirrors fault_test.cpp's small_chaos_options(): a config known to
+  // converge, with shard crashes AND link failures in the plan.
+  fault::ChaosOptions opt;
+  opt.sites = 8;
+  opt.duplex_links = 12;
+  opt.endpoints_per_site = 2;
+  opt.intervals = 8;
+  opt.interval_s = 15.0;
+  opt.poll_interval_s = 4.0;
+  opt.plan.seed = 21;
+  opt.plan.horizon_s = 0.0;  // auto-size to intervals * interval_s
+  opt.plan.quiet_tail_s = 45.0;
+  opt.plan.shard_crashes = 2;
+  opt.plan.link_failures = 1;
+  opt.plan.pull_drop_windows = 1;
+  opt.plan.stale_windows = 1;
+  const fault::ChaosReport cold = fault::run_chaos(opt);
+  opt.incremental_solve = true;
+  const fault::ChaosReport inc = fault::run_chaos(opt);
+
+  EXPECT_TRUE(cold.ok()) << (cold.violations.empty()
+                                 ? "did not converge"
+                                 : cold.violations.front());
+  EXPECT_TRUE(inc.ok()) << (inc.violations.empty()
+                                ? "did not converge"
+                                : inc.violations.front());
+  // Same faults, same published routes, same availability — bit-identical.
+  EXPECT_EQ(cold.fingerprint, inc.fingerprint);
+  EXPECT_GT(inc.counters.incremental_solves, 0u);
+  EXPECT_GT(inc.counters.incremental_cache_hits, 0u);
+  // The plan's link failures must have forced invalidations.
+  EXPECT_GE(inc.counters.incremental_invalidations, 1u);
+  EXPECT_EQ(cold.counters.incremental_solves, 0u);
+}
+
+TEST(IncrementalParity, PeriodSimulationOutcomesMatch) {
+  auto s = testing::make_scenario(8, 12, 3, 0.2, 31);
+  sim::PeriodSimOptions opt;
+  opt.periods = 6;
+  opt.seed = 3;
+  opt.link_faults.push_back({.period = 2, .count = 1,
+                             .duration_periods = 2, .seed = 9});
+
+  const auto cold = sim::run_period_simulation_with_faults(
+      s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kStale, opt);
+  opt.incremental = true;
+  const auto inc = sim::run_period_simulation_with_faults(
+      s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kStale, opt);
+
+  ASSERT_EQ(cold.size(), inc.size());
+  for (std::size_t p = 0; p < cold.size(); ++p) {
+    EXPECT_DOUBLE_EQ(cold[p].actual_total_gbps, inc[p].actual_total_gbps);
+    EXPECT_TRUE(within_rel(cold[p].carried_gbps, inc[p].carried_gbps, 1e-9))
+        << "period " << p << ": " << cold[p].carried_gbps << " vs "
+        << inc[p].carried_gbps;
+  }
+  // The fault at period 2 and the recovery at period 4 both invalidate.
+  std::size_t invalidations = 0;
+  for (const auto& out : inc) {
+    invalidations += out.incremental.cache_invalidations;
+  }
+  EXPECT_GE(invalidations, 2u);
+}
+
+}  // namespace
+}  // namespace megate
