@@ -27,6 +27,7 @@ int main() {
         tm::generate_traffic(inst->graph, inst->layout, tmo, 99);
   }
 
+  bench::BenchReport report("ablation_hybrid_sync");
   ctrl::SyncCostModel model;
   util::Table t("hybrid split sweep (TWAN-like, ~50k endpoints)");
   t.header({"target share", "persistent conns", "polling agents",
@@ -35,7 +36,16 @@ int main() {
   for (double share : {0.0, 0.5, 0.8, 0.9, 0.99, 1.0}) {
     ctrl::HybridSyncOptions opt;
     opt.heavy_traffic_share = share;
+    opt.metrics = &report.metrics();  // plan spans + last-plan gauges
     auto plan = ctrl::plan_hybrid_sync(inst->traffic, model, opt);
+    const std::string p = "ablation_hybrid_sync.share" +
+                          std::to_string(static_cast<int>(100 * share)) + ".";
+    auto& m = report.metrics();
+    m.gauge(p + "persistent").set(
+        static_cast<double>(plan.persistent_instances.size()));
+    m.gauge(p + "covered_share").set(plan.covered_traffic_share);
+    m.gauge(p + "cpu_cores").set(plan.resources.cpu_cores);
+    m.gauge(p + "mean_staleness_s").set(plan.mean_staleness_s);
     t.add_row({util::Table::num(100 * share, 0) + "%",
                util::Table::with_commas(plan.persistent_instances.size()),
                util::Table::with_commas(plan.polling_instances),

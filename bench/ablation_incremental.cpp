@@ -6,15 +6,16 @@
 // dominates, which is exactly where the memo pays: clean pairs replay
 // their cached assignment instead of re-running clustering + DP.
 //
-// Emits BENCH_incremental.json (machine-readable, consumed by CI and
-// EXPERIMENTS.md) next to the human-readable table. Acceptance: median
-// per-interval speedup >= 2x. Equivalence of the two solve paths is NOT
-// asserted here — that is tests/incremental_test.cpp's job; the bench
-// still cross-checks satisfied demand per interval as a sanity guard.
+// Emits BENCH_ablation_incremental.json (megate.metrics/1 schema, consumed
+// by CI and EXPERIMENTS.md) next to the human-readable table; the
+// per-interval timing arrays ride in the document's "extra" member.
+// Acceptance: median per-interval speedup >= 2x. Equivalence of the two
+// solve paths is NOT asserted here — that is tests/incremental_test.cpp's
+// job; the bench still cross-checks satisfied demand per interval as a
+// sanity guard.
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <numeric>
 #include <vector>
@@ -64,6 +65,7 @@ int main() {
       "consecutive intervals share most of their demand, so most per-pair "
       "FastSSP work and the stage-1 optimal basis can be reused");
 
+  bench::BenchReport report("ablation_incremental");
   const std::size_t kIntervals = 20;
   const double kChurn = 0.10;  // the ISSUE's low-churn regime
 
@@ -143,38 +145,29 @@ int main() {
             << util::Table::num(inc_med * 1e3, 1) << " ms -> "
             << util::Table::num(speedup, 2) << "x (acceptance: >= 2x)\n";
 
-  std::ofstream json("BENCH_incremental.json");
-  json << "{\n"
-       << "  \"bench\": \"ablation_incremental\",\n"
-       << "  \"intervals\": " << kIntervals << ",\n"
-       << "  \"churn_pair_fraction\": " << kChurn << ",\n"
-       << "  \"endpoints\": " << inst->layout.total_endpoints() << ",\n"
-       << "  \"mean_dirty_fraction\": "
-       << (dirty_frac.empty()
-               ? 0.0
-               : std::accumulate(dirty_frac.begin(), dirty_frac.end(), 0.0) /
-                     static_cast<double>(dirty_frac.size()))
-       << ",\n"
-       << "  \"mean_memo_hit_rate\": "
-       << (hit_rate.empty()
-               ? 0.0
-               : std::accumulate(hit_rate.begin(), hit_rate.end(), 0.0) /
-                     static_cast<double>(hit_rate.size()))
-       << ",\n"
-       << "  \"cold_median_s\": " << cold_med << ",\n"
-       << "  \"incremental_median_s\": " << inc_med << ",\n"
-       << "  \"median_speedup\": " << speedup << ",\n"
-       << "  \"cold_s\": [";
-  for (std::size_t i = 0; i < cold_s.size(); ++i) {
-    json << (i ? ", " : "") << cold_s[i];
-  }
-  json << "],\n  \"incremental_s\": [";
-  for (std::size_t i = 0; i < inc_s.size(); ++i) {
-    json << (i ? ", " : "") << inc_s[i];
-  }
-  json << "]\n}\n";
-  json.close();
-  std::cout << "wrote BENCH_incremental.json\n";
+  auto mean_of = [](const std::vector<double>& v) {
+    return v.empty() ? 0.0
+                     : std::accumulate(v.begin(), v.end(), 0.0) /
+                           static_cast<double>(v.size());
+  };
+  auto& m = report.metrics();
+  m.gauge("ablation_incremental.intervals")
+      .set(static_cast<double>(kIntervals));
+  m.gauge("ablation_incremental.churn_pair_fraction").set(kChurn);
+  m.gauge("ablation_incremental.endpoints")
+      .set(static_cast<double>(inst->layout.total_endpoints()));
+  m.gauge("ablation_incremental.mean_dirty_fraction").set(mean_of(dirty_frac));
+  m.gauge("ablation_incremental.mean_memo_hit_rate").set(mean_of(hit_rate));
+  m.gauge("ablation_incremental.cold_median_s").set(cold_med);
+  m.gauge("ablation_incremental.incremental_median_s").set(inc_med);
+  m.gauge("ablation_incremental.median_speedup").set(speedup);
+  obs::Json cold_arr = obs::Json::array();
+  for (double v : cold_s) cold_arr.push(obs::Json(v));
+  obs::Json inc_arr = obs::Json::array();
+  for (double v : inc_s) inc_arr.push(obs::Json(v));
+  report.extra().set("cold_s", std::move(cold_arr));
+  report.extra().set("incremental_s", std::move(inc_arr));
+  report.write();
 
   if (speedup < 2.0) {
     std::cerr << "FAIL: median speedup " << speedup << "x is below the 2x "

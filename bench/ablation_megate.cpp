@@ -18,6 +18,7 @@ int main() {
   bench::print_header("Ablation: MegaTE design choices (Deltacom* @ 11,300)",
                       "each row toggles one design decision");
 
+  bench::BenchReport report("ablation_megate");
   bench::InstanceOptions iopt;
   iopt.load = 0.5;
   auto inst =
@@ -27,6 +28,8 @@ int main() {
   util::Table t("variants");
   t.header({"variant", "satisfied", "QoS-1 latency (ms)", "solve (s)",
             "feasible"});
+  obs::Json variant_names = obs::Json::array();
+  std::size_t variant_idx = 0;
   auto run = [&](const std::string& name, const te::MegaTeOptions& opt) {
     te::MegaTeSolver solver(opt);
     te::TeSolution sol = solver.solve(problem);
@@ -35,6 +38,14 @@ int main() {
                util::Table::num(100.0 * sol.satisfied_ratio(), 1) + "%",
                util::Table::num(te::mean_latency_ms(problem, sol, 1), 2),
                util::Table::num(sol.solve_time_s, 2), ok ? "yes" : "NO"});
+    const std::string p =
+        "ablation_megate.variant" + std::to_string(variant_idx++) + ".";
+    auto& m = report.metrics();
+    m.gauge(p + "satisfied").set(sol.satisfied_ratio());
+    m.gauge(p + "qos1_latency_ms").set(te::mean_latency_ms(problem, sol, 1));
+    m.gauge(p + "solve_seconds").set(sol.solve_time_s);
+    m.gauge(p + "feasible").set(ok ? 1.0 : 0.0);
+    variant_names.push(obs::Json(name));
   };
 
   te::MegaTeOptions base;
@@ -64,6 +75,7 @@ int main() {
   run("site LP packing eps=0.2 (faster, looser)", loose_packing);
 
   t.print(std::cout);
+  report.extra().set("variants", std::move(variant_names));
   std::cout << "\nReading the table: sequencing costs a little total "
                "throughput but protects class-1 latency; residual repair "
                "recovers the demand that fractional F_{k,t} splits strand "

@@ -14,6 +14,7 @@ int main() {
       "paper §8: knowing flow sizes in advance enables better TE "
       "decisions; MegaTE deploys the weak-coupling (stale) model");
 
+  bench::BenchReport report("ablation_prediction");
   bench::InstanceOptions iopt;
   iopt.load = 0.6;
   auto inst = bench::make_instance(topo::TopologyKind::kB4, 3000, iopt);
@@ -51,6 +52,10 @@ int main() {
   }
   t.print(std::cout);
   const double n = static_cast<double>(opt.periods);
+  auto& m = report.metrics();
+  m.gauge("ablation_prediction.stale_mean_satisfied").set(m_stale / n);
+  m.gauge("ablation_prediction.ewma_mean_satisfied").set(m_pred / n);
+  m.gauge("ablation_prediction.oracle_mean_satisfied").set(m_oracle / n);
   std::cout << "\nMeans: stale " << util::Table::num(100 * m_stale / n, 1)
             << "%, EWMA " << util::Table::num(100 * m_pred / n, 1)
             << "%, oracle " << util::Table::num(100 * m_oracle / n, 1)

@@ -17,6 +17,7 @@ int main() {
       "paper §8: 'a synergy between NCFlow ... and SSP to accelerate the "
       "solving of MaxSiteFlow is worth further investigation'");
 
+  bench::BenchReport report("ablation_stage1");
   for (auto kind :
        {topo::TopologyKind::kDeltacom, topo::TopologyKind::kCogentco}) {
     bench::InstanceOptions iopt;
@@ -33,12 +34,21 @@ int main() {
     const double joint_s = sw.elapsed_seconds();
     t.add_row({"joint LP", util::Table::num(joint.objective, 1),
                util::Table::num(joint_s, 2), "1"});
+    const std::string topo_key =
+        std::string("ablation_stage1.") + topo::to_string(kind) + ".";
+    report.metrics().gauge(topo_key + "joint_seconds").set(joint_s);
+    report.metrics().gauge(topo_key + "joint_objective").set(joint.objective);
 
     for (std::size_t clusters : {2u, 4u, 8u}) {
       sw.reset();
       auto contracted = te::solve_max_site_flow_clustered(
           inst->graph, inst->tunnels, demands, {}, 0.02, clusters);
       const double s = sw.elapsed_seconds();
+      const std::string ck =
+          topo_key + "clusters" + std::to_string(clusters) + ".";
+      report.metrics().gauge(ck + "seconds").set(s);
+      report.metrics().gauge(ck + "objective_ratio")
+          .set(contracted.objective / std::max(1e-9, joint.objective));
       t.add_row({"contracted x" + std::to_string(clusters),
                  util::Table::num(contracted.objective, 1) + " (" +
                      util::Table::num(

@@ -12,12 +12,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "megate/obs/json.h"
+#include "megate/obs/metrics.h"
 #include "megate/te/types.h"
 #include "megate/tm/endpoints.h"
 #include "megate/tm/traffic.h"
 #include "megate/topo/generators.h"
 #include "megate/topo/tunnels.h"
+#include "megate/util/stopwatch.h"
 #include "megate/util/table.h"
 
 namespace megate::bench {
@@ -111,5 +115,59 @@ inline void print_header(const std::string& title,
             << "Paper reference: " << paper_ref << "\n"
             << std::string(72, '=') << "\n";
 }
+
+/// Per-bench metrics export: every bench target owns one BenchReport and
+/// writes BENCH_<name>.json in the megate.metrics/1 schema (obs/json.h) —
+/// the same document megate_cli --metrics-json emits, so one validator
+/// (tools/check_metrics_json) covers every producer in the repo.
+///
+/// Usage:
+///   megate::bench::BenchReport report("fig09_runtime");
+///   report.metrics().gauge("bench.b4.solve_seconds").set(dt);  // series
+///   report.extra().set("endpoints", obs::Json::array());      // free-form
+///   // destructor stamps bench.wall_seconds and writes the file
+///
+/// Solver-level detail comes for free by pointing MegaTeOptions::metrics
+/// at report.metrics(). The write is validated against the schema before
+/// touching disk; a failure prints to stderr (benches stay best-effort —
+/// a full disk must not flip a perf experiment's exit code).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), extra_(obs::Json::object()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { write(); }
+
+  obs::MetricsRegistry& metrics() noexcept { return registry_; }
+  /// Free-form per-bench payload (series arrays, config echoes, ...);
+  /// lands in the document's "extra" member.
+  obs::Json& extra() noexcept { return extra_; }
+
+  /// Stamps the total wall time and writes BENCH_<name>.json (validated).
+  /// Idempotent: the first call wins; the destructor is then a no-op.
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    registry_.gauge("bench.wall_seconds").set(clock_.elapsed_seconds());
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (!obs::write_metrics_json(registry_, "bench/" + name_, path,
+                                 extra_)) {
+      std::cerr << "warning: failed to write " << path << "\n";
+      return false;
+    }
+    std::cout << "metrics: " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry registry_;
+  obs::Json extra_;
+  util::Stopwatch clock_;
+  bool written_ = false;
+};
 
 }  // namespace megate::bench

@@ -40,6 +40,7 @@ int main() {
             "fallbacks", "re-solves", "converged<=K", "violations",
             "fingerprint"});
 
+  bench::BenchReport report("chaos_availability");
   bool all_ok = true;
   for (const Level& lvl : levels) {
     fault::ChaosOptions opt;
@@ -56,6 +57,9 @@ int main() {
     opt.plan.link_failures = lvl.link_failures;
     opt.plan.pull_drop_windows = lvl.pull_drop_windows;
     opt.plan.stale_windows = lvl.stale_windows;
+    // Live solver/agent instruments accumulate across all levels; the
+    // frozen ctrl.*/kv.* totals reflect the last (storm) run.
+    opt.metrics = &report.metrics();
 
     const fault::ChaosReport r = fault::run_chaos(opt);
     all_ok = all_ok && r.ok();
@@ -85,6 +89,15 @@ int main() {
                r.converged_within_k ? "yes" : "NO",
                util::Table::num(r.violations.size()),
                std::to_string(r.fingerprint)});
+    const std::string p = std::string("chaos_availability.") + lvl.name + ".";
+    auto& m = report.metrics();
+    m.gauge(p + "worst_availability").set(worst);
+    m.gauge(p + "mean_availability").set(mean);
+    m.gauge(p + "fault_events").set(static_cast<double>(r.event_log.size()));
+    m.gauge(p + "fallbacks")
+        .set(static_cast<double>(r.counters.fallbacks_last_good));
+    m.gauge(p + "violations").set(static_cast<double>(r.violations.size()));
+    m.gauge(p + "converged_within_k").set(r.converged_within_k ? 1.0 : 0.0);
   }
   t.print(std::cout);
   std::cout << "\nMechanism: a down shard refuses pulls, so agents keep the "

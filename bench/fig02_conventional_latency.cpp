@@ -15,6 +15,7 @@ int main() {
       "Fig. 2(a): large variance across 4 instance pairs; Fig. 2(b): pair "
       "#4 clusters around ~20 ms and ~42 ms");
 
+  bench::BenchReport report("fig02_conventional_latency");
   auto scenario = sim::ProductionScenario::default_scenario();
   auto stats = sim::conventional_latency_day(scenario, 4, /*seed=*/20240804);
 
@@ -24,6 +25,10 @@ int main() {
     box.add_row({p.pair_name, util::Table::num(p.p5, 1),
                  util::Table::num(p.p25, 1), util::Table::num(p.p50, 1),
                  util::Table::num(p.p75, 1), util::Table::num(p.p95, 1)});
+    const std::string key = "fig02." + p.pair_name + ".";
+    report.metrics().gauge(key + "p50_ms").set(p.p50);
+    report.metrics().gauge(key + "p95_ms").set(p.p95);
+    report.metrics().gauge(key + "spread_ms").set(p.p95 - p.p5);
   }
   box.print(std::cout);
 

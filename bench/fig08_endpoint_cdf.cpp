@@ -17,6 +17,7 @@ int main() {
       "endpoint counts vary over orders of magnitude; Weibull fits the "
       "TWAN empirical trace");
 
+  bench::BenchReport report("fig08_endpoint_cdf");
   topo::GeneratorOptions gopt;
   gopt.seed = 7;
   auto graph = topo::make_topology(topo::TopologyKind::kTwan, gopt);
@@ -48,6 +49,12 @@ int main() {
 
   const double maxc = *std::max_element(counts.begin(), counts.end());
   const double minc = *std::min_element(counts.begin(), counts.end());
+  report.metrics().gauge("fig08.total_endpoints")
+      .set(static_cast<double>(layout.total_endpoints()));
+  report.metrics().gauge("fig08.sites")
+      .set(static_cast<double>(graph.num_nodes()));
+  report.metrics().gauge("fig08.min_per_site").set(minc);
+  report.metrics().gauge("fig08.max_per_site").set(maxc);
   std::cout << "\nTotal endpoints: "
             << util::Table::with_commas(layout.total_endpoints())
             << " across " << graph.num_nodes() << " sites; min/site="

@@ -49,6 +49,7 @@ int main() {
       "22,600 endpoints in ~2 s (>20x); MegaTE solves O(1M) endpoints in "
       "tens of seconds where others OOM");
 
+  bench::BenchReport report("fig09_runtime");
   const bool full = bench::full_scale();
   std::vector<SweepSpec> sweeps = {
       {topo::TopologyKind::kB4,
@@ -89,7 +90,9 @@ int main() {
       te::LpAllSolver lp_all(lp_opt);
       te::NcFlowSolver ncflow(nc_opt);
       te::TealSolver teal(teal_opt);
-      te::MegaTeSolver megate;
+      te::MegaTeOptions mega_opt;
+      mega_opt.metrics = &report.metrics();  // stage/QoS timing histograms
+      te::MegaTeSolver megate(mega_opt);
 
       double lp_s = 0, nc_s = 0, teal_s = 0, mega_s = 0;
       const std::string lp_cell = run_solver(lp_all, problem, 600, &lp_s);
@@ -102,6 +105,20 @@ int main() {
                  teal_cell, mega_cell,
                  util::Table::num(megate.last_stage1_seconds(), 2) + "/" +
                      util::Table::num(megate.last_stage2_seconds(), 2)});
+
+      const std::string point = std::string("fig09.") +
+                                topo::to_string(sweep.kind) + ".eps" +
+                                std::to_string(eps) + ".";
+      auto& m = report.metrics();
+      m.gauge(point + "flows").set(static_cast<double>(flows));
+      m.gauge(point + "lp_all_seconds").set(lp_s);
+      m.gauge(point + "ncflow_seconds").set(nc_s);
+      m.gauge(point + "teal_seconds").set(teal_s);
+      m.gauge(point + "megate_seconds").set(mega_s);
+      m.gauge(point + "megate_stage1_seconds")
+          .set(megate.last_stage1_seconds());
+      m.gauge(point + "megate_stage2_seconds")
+          .set(megate.last_stage2_seconds());
     }
     t.print(std::cout);
     std::cout << '\n';

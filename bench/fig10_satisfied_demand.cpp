@@ -16,10 +16,12 @@ namespace {
 
 using namespace megate;
 
-std::string cell(te::Solver& solver, const te::TeProblem& problem) {
+std::string cell(te::Solver& solver, const te::TeProblem& problem,
+                 double* ratio_out = nullptr) {
   te::TeSolution sol = solver.solve(problem);
   if (!sol.solved) return "OOM/DNF";
   auto check = te::check_solution(problem, sol);
+  if (ratio_out) *ratio_out = sol.satisfied_ratio();
   std::string out = util::Table::num(100.0 * sol.satisfied_ratio(), 1) + "%";
   if (!check.ok) out += " (!)";
   return out;
@@ -40,6 +42,7 @@ int main() {
     std::vector<std::uint64_t> endpoint_scales;
     double load;
   };
+  bench::BenchReport report("fig10_satisfied_demand");
   const bool full = bench::full_scale();
   std::vector<SweepSpec> sweeps = {
       {topo::TopologyKind::kB4, {120, 1200, 12000}, 0.60},
@@ -74,10 +77,20 @@ int main() {
       te::NcFlowSolver ncflow(nc_opt);
       te::TealSolver teal(teal_opt);
       te::MegaTeSolver megate;
+      double lp_r = -1, nc_r = -1, teal_r = -1, mega_r = -1;
       t.add_row({util::Table::with_commas(eps),
                  util::Table::with_commas(inst->traffic.num_flows()),
-                 cell(lp_all, problem), cell(ncflow, problem),
-                 cell(teal, problem), cell(megate, problem)});
+                 cell(lp_all, problem, &lp_r), cell(ncflow, problem, &nc_r),
+                 cell(teal, problem, &teal_r),
+                 cell(megate, problem, &mega_r)});
+      const std::string point = std::string("fig10.") +
+                                topo::to_string(sweep.kind) + ".eps" +
+                                std::to_string(eps) + ".";
+      auto& m = report.metrics();
+      m.gauge(point + "lp_all_satisfied").set(lp_r);
+      m.gauge(point + "ncflow_satisfied").set(nc_r);
+      m.gauge(point + "teal_satisfied").set(teal_r);
+      m.gauge(point + "megate_satisfied").set(mega_r);
     }
     t.print(std::cout);
     std::cout << '\n';

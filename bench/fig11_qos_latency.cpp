@@ -49,6 +49,7 @@ int main() {
       "MegaTE -25% vs NCFlow, -33% vs TEAL for class-1 traffic of a "
       "typical site pair");
 
+  bench::BenchReport report("fig11_qos_latency");
   bench::InstanceOptions iopt;
   iopt.load = 1.2;  // enough contention that aggregated splits use long
                     // tunnels
@@ -142,6 +143,13 @@ int main() {
   row("NCFlow", nc_sum, "MegaTE is -25%");
   row("TEAL", teal_sum, "MegaTE is -33%");
   t.print(std::cout);
+  auto& m = report.metrics();
+  m.gauge("fig11.pairs_used").set(static_cast<double>(used));
+  m.gauge("fig11.megate_latency_ms").set(mega_sum);
+  m.gauge("fig11.ncflow_latency_ms").set(nc_sum);
+  m.gauge("fig11.teal_latency_ms").set(teal_sum);
+  m.gauge("fig11.megate_vs_ncflow").set(1.0 - mega_sum / nc_sum);
+  m.gauge("fig11.megate_vs_teal").set(1.0 - mega_sum / teal_sum);
   std::cout << "\nMechanism: within one site pair all flows share the same "
                "tunnels; MegaTE pins class-1 flows to the lowest-weight "
                "tunnel while the baselines' QoS-blind hash spreads them "

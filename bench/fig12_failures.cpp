@@ -25,6 +25,7 @@ int main() {
       "gap MegaTE-NCFlow ~4% @1130 endpoints, 8.2% @5650; MegaTE "
       "recomputes <1 s, NCFlow ~100 s");
 
+  bench::BenchReport report("fig12_failures");
   for (std::uint64_t endpoints : {1130ull, 5650ull}) {
     bench::InstanceOptions iopt;
     iopt.load = 0.5;
@@ -61,6 +62,15 @@ int main() {
       };
       row(mega, 0.0);
       row(nc, mega.windowed_satisfied - nc.windowed_satisfied);
+      const std::string point = "fig12.eps" + std::to_string(endpoints) +
+                                ".fail" + std::to_string(failures) + ".";
+      auto& m = report.metrics();
+      m.gauge(point + "megate_windowed").set(mega.windowed_satisfied);
+      m.gauge(point + "ncflow_windowed").set(nc.windowed_satisfied);
+      m.gauge(point + "gap")
+          .set(mega.windowed_satisfied - nc.windowed_satisfied);
+      m.gauge(point + "megate_outage_s").set(mega.outage_s);
+      m.gauge(point + "ncflow_outage_s").set(nc.outage_s);
     }
     t.print(std::cout);
     std::cout << '\n';

@@ -16,6 +16,7 @@ int main() {
       "6,000 connections -> 90% CPU and 750 MB; operators flag sustained "
       "90% CPU as a failure risk");
 
+  bench::BenchReport report("fig13_connection_overhead");
   util::Table t("connection sweep (1 Hz heartbeats, 60 s window)");
   t.header({"connections", "CPU %", "memory (MB)", "heartbeats/s",
             "at risk?"});
@@ -33,6 +34,9 @@ int main() {
                                     cm.simulated_seconds(),
                                 0),
                cpu >= 85.0 ? "YES (>=90% sustained)" : "no"});
+    const std::string p = "fig13.conns" + std::to_string(conns) + ".";
+    report.metrics().gauge(p + "cpu_percent").set(cpu);
+    report.metrics().gauge(p + "memory_mb").set(cm.memory_mb());
   }
   t.print(std::cout);
 

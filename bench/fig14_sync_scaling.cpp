@@ -14,6 +14,7 @@ int main() {
       "1M endpoints top-down: >=167 cores + 125 GB; bottom-up: 1 core + "
       "1 GB (+ DB shards, 160k QPS on two shards)");
 
+  bench::BenchReport report("fig14_sync_scaling");
   ctrl::SyncCostModel model;
   util::Table t("controller-side resources");
   t.header({"endpoints", "top-down cores", "top-down mem (GB)",
@@ -27,6 +28,13 @@ int main() {
                util::Table::num(bu.cpu_cores, 0),
                util::Table::num(bu.memory_gb, 1),
                util::Table::num(bu.db_shards)});
+    const std::string p = "fig14.eps" + std::to_string(n) + ".";
+    auto& m = report.metrics();
+    m.gauge(p + "top_down_cores").set(td.cpu_cores);
+    m.gauge(p + "top_down_memory_gb").set(td.memory_gb);
+    m.gauge(p + "bottom_up_cores").set(bu.cpu_cores);
+    m.gauge(p + "bottom_up_memory_gb").set(bu.memory_gb);
+    m.gauge(p + "db_shards").set(static_cast<double>(bu.db_shards));
   }
   t.print(std::cout);
   std::cout << "\nReference points: top-down 1M -> "

@@ -18,12 +18,17 @@ int main() {
   auto results =
       sim::evaluate_app_latency(scenario, sim::fig15_apps(), /*seed=*/92);
 
+  bench::BenchReport report("fig15_app_latency");
   util::Table t("conventional (hash-mixed) vs MegaTE (class-pinned)");
   t.header({"app", "conventional (ms)", "MegaTE (ms)", "reduction"});
   for (const auto& r : results) {
     t.add_row({r.app, util::Table::num(r.conventional_ms, 1),
                util::Table::num(r.megate_ms, 1),
                util::Table::num(r.reduction_pct, 1) + "%"});
+    const std::string p = "fig15." + r.app + ".";
+    report.metrics().gauge(p + "conventional_ms").set(r.conventional_ms);
+    report.metrics().gauge(p + "megate_ms").set(r.megate_ms);
+    report.metrics().gauge(p + "reduction_pct").set(r.reduction_pct);
   }
   t.print(std::cout);
   std::cout << "\nMechanism: conventional TE five-tuple-hashes each app's "

@@ -14,6 +14,7 @@ int main() {
       "pre-rollout App 6 dips to 99.988% (below its 99.99% SLO); after "
       "MegaTE: >=99.995% avg; App 7 rides a ~99% path");
 
+  bench::BenchReport report("fig16_availability");
   auto scenario = sim::ProductionScenario::default_scenario();
   auto points = sim::evaluate_availability(scenario, /*seed=*/42);
 
@@ -33,6 +34,10 @@ int main() {
     }
   }
   t.print(std::cout);
+  report.metrics().gauge("fig16.app6_avail_after_rollout")
+      .set(after_sum / after_n);
+  report.metrics().gauge("fig16.months_after_rollout")
+      .set(static_cast<double>(after_n));
   std::cout << "\nApp 6 average after rollout: "
             << util::Table::num(100 * after_sum / after_n, 4)
             << "% (paper: 99.995%). Mechanism: MegaTE pins class-1 flows "

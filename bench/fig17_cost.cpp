@@ -14,6 +14,7 @@ int main() {
       "App 9 (bulk, QoS-3) cost -50% after MegaTE routes it to the "
       "low-cost path; App 8 (gaming, QoS-1) stays on the premium path");
 
+  bench::BenchReport report("fig17_cost");
   auto scenario = sim::ProductionScenario::default_scenario();
   auto points = sim::evaluate_cost(scenario, /*seed=*/42);
 
@@ -34,6 +35,10 @@ int main() {
     }
   }
   t.print(std::cout);
+  report.metrics().gauge("fig17.app9_cost_before").set(before / nb);
+  report.metrics().gauge("fig17.app9_cost_after").set(after / na);
+  report.metrics().gauge("fig17.app9_reduction")
+      .set(1.0 - (after / na) / (before / nb));
   std::cout << "\nApp 9 mean cost: before " << util::Table::num(before / nb, 1)
             << ", after " << util::Table::num(after / na, 1) << " ("
             << util::Table::num(100 * (1 - (after / na) / (before / nb)), 0)

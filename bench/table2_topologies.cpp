@@ -26,6 +26,7 @@ int main() {
        "O(100) sites / O(1,000,000) endpoints"},
   };
 
+  bench::BenchReport report("table2_topologies");
   util::Table t("generated topologies at paper scale");
   t.header({"topology", "sites", "duplex links", "tunnels", "endpoints",
             "paper"});
@@ -42,6 +43,15 @@ int main() {
                util::Table::num(g.num_links() / 2),
                util::Table::num(tunnels.total_tunnels()),
                util::Table::with_commas(layout.total_endpoints()), r.paper});
+
+    const std::string p =
+        std::string("table2.") + topo::to_string(r.kind) + ".";
+    auto& m = report.metrics();
+    m.gauge(p + "sites").set(static_cast<double>(g.num_nodes()));
+    m.gauge(p + "links").set(static_cast<double>(g.num_links() / 2));
+    m.gauge(p + "tunnels").set(static_cast<double>(tunnels.total_tunnels()));
+    m.gauge(p + "endpoints")
+        .set(static_cast<double>(layout.total_endpoints()));
   }
   t.print(std::cout);
   return 0;

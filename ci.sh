@@ -20,6 +20,30 @@ run_default() {
   cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build -j"$JOBS"
   ctest --test-dir build --output-on-failure
+  run_metrics_json_check
+}
+
+# Every metrics producer must emit a document that validates against the
+# megate.metrics/1 schema: megate_cli (solve + chaos) and a sample of
+# bench targets (benches all share bench::BenchReport, so validating a
+# few binaries covers the shared writer; micro_kvstore additionally
+# covers the google-benchmark custom-main path).
+run_metrics_json_check() {
+  local out=build/ci-metrics
+  rm -rf "$out" && mkdir -p "$out"
+  ./build/tools/megate_cli solve --kind b4 --endpoints 200 \
+    --metrics-json "$out/cli_solve.json" >/dev/null
+  # Fault-free plan: chaos exits nonzero on SLO violations, and this
+  # stage checks the JSON contract, not chaos tolerance (ctest does that).
+  ./build/tools/megate_cli chaos --intervals 3 --shard-crashes 0 \
+    --link-failures 0 --pull-drops 0 --stale-windows 0 \
+    --metrics-json "$out/cli_chaos.json" >/dev/null
+  (cd "$out" &&
+    ../bench/fig08_endpoint_cdf >/dev/null &&
+    ../bench/fig16_availability >/dev/null &&
+    ../bench/fig17_cost >/dev/null &&
+    ../bench/micro_kvstore --benchmark_filter=skip_all >/dev/null 2>&1)
+  ./build/tools/check_metrics_json "$out"/*.json
 }
 
 # The suites introduced by the fault-injection PR, plus everything that
@@ -36,6 +60,13 @@ ASAN_FILTER+=':ThreadPoolHardening.*'
 # lifetime bug ASan exists for.
 ASAN_FILTER+=':IncrementalDifferential.*:IncrementalCacheTest.*'
 ASAN_FILTER+=':IncrementalFaultReplay.*:IncrementalParity.*'
+# Observability layer + dataplane hardening (obs_test.cpp,
+# dataplane_hardening_test.cpp): the fuzz sweeps feed truncated/corrupt
+# frames through every parser, and the metrics registry reads exposed
+# cells through type-erased callbacks — both are ASan/UBSan territory.
+ASAN_FILTER+=':Metrics.*:Spans.*:MetricsJson.*:ObsConcurrency.*'
+ASAN_FILTER+=':MetricsParity.*:SrHardening.*:FragHardening.*'
+ASAN_FILTER+=':OverlayHardening.*:FuzzHardening.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -48,6 +79,8 @@ run_asan() {
 # concurrent readers/writers and the thread pool under multi-producer
 # submit stress.
 TSAN_FILTER='KvStore.*:ThreadPool.*:ThreadPoolHardening.*:Agent.*'
+# Registry hot paths are relaxed atomics; snapshots race writers by design.
+TSAN_FILTER+=':ObsConcurrency.*'
 
 run_tsan() {
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,6 +1,7 @@
 #include "megate/ctrl/agent.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace megate::ctrl {
 namespace {
@@ -28,6 +29,11 @@ EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
                                   ? options.spread_interval_s
                                   : options.poll_interval_s)) {
   options_.retry_backoff_s = std::max(options_.retry_backoff_s, 1e-3);
+  if (options_.metrics != nullptr) {
+    // Histogram references are stable for the registry's lifetime, so the
+    // hot pull path pays one relaxed-atomic observe, not a map lookup.
+    pull_latency_ = &options_.metrics->histogram("ctrl.agent.pull.seconds");
+  }
 }
 
 const std::vector<std::uint32_t>& EndpointAgent::hops_for(
@@ -42,16 +48,25 @@ const std::vector<std::uint32_t>& EndpointAgent::hops_for(
 }
 
 bool EndpointAgent::try_pull() {
+  const auto pull_start = std::chrono::steady_clock::now();
+  const auto observe_latency = [&]() {
+    if (pull_latency_ == nullptr) return;
+    pull_latency_->observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - pull_start)
+                               .count());
+  };
   ControlCounters* c = options_.counters;
   if (options_.fault_hooks != nullptr &&
       options_.fault_hooks->drop_pull(instance_id_)) {
     if (c != nullptr) ++c->pull_drops;
+    observe_latency();
     return false;
   }
   std::string entry;
   const GetStatus st = store_->try_get(path_key(instance_id_), &entry);
   if (st == GetStatus::kUnavailable) {
     if (c != nullptr) ++c->shard_unavailable;
+    observe_latency();
     return false;
   }
   if (st == GetStatus::kOk) {
@@ -74,6 +89,7 @@ bool EndpointAgent::try_pull() {
   }
   // kMiss: no entry for this instance (no assigned flows) — a valid,
   // applied state; the instance falls back to five-tuple hashing.
+  observe_latency();
   return true;
 }
 

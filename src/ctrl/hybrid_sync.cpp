@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "megate/obs/span.h"
+
 namespace megate::ctrl {
+namespace {
+
+/// Writes the plan's headline numbers into `registry` as gauges.
+void export_plan_gauges(obs::MetricsRegistry& registry,
+                        const HybridSyncPlan& plan) {
+  registry.gauge("ctrl.hybrid_sync.persistent_instances")
+      .set(static_cast<double>(plan.persistent_instances.size()));
+  registry.gauge("ctrl.hybrid_sync.polling_instances")
+      .set(static_cast<double>(plan.polling_instances));
+  registry.gauge("ctrl.hybrid_sync.covered_traffic_share")
+      .set(plan.covered_traffic_share);
+  registry.gauge("ctrl.hybrid_sync.mean_staleness_s")
+      .set(plan.mean_staleness_s);
+  registry.gauge("ctrl.hybrid_sync.worst_staleness_s")
+      .set(plan.worst_staleness_s);
+}
+
+}  // namespace
 
 HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
                                 const SyncCostModel& model,
@@ -16,6 +37,11 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
   }
   if (options.pull_drop_rate < 0.0 || options.pull_drop_rate >= 1.0) {
     throw std::invalid_argument("pull_drop_rate must be in [0, 1)");
+  }
+  std::unique_ptr<obs::Span> span;
+  if (options.metrics != nullptr) {
+    span = std::make_unique<obs::Span>(*options.metrics,
+                                       "ctrl.hybrid_sync.plan");
   }
   HybridSyncPlan plan;
 
@@ -30,6 +56,7 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
   }
   if (per_instance.empty() || total <= 0.0) {
     plan.resources = model.bottom_up(0);
+    if (options.metrics != nullptr) export_plan_gauges(*options.metrics, plan);
     return plan;
   }
 
@@ -74,6 +101,7 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
       plan.polling_instances > 0
           ? options.poll_interval_s * retry_stretch
           : options.push_latency_s;
+  if (options.metrics != nullptr) export_plan_gauges(*options.metrics, plan);
   return plan;
 }
 

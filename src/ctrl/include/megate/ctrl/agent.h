@@ -40,6 +40,10 @@ struct AgentOptions {
   FaultHooks* fault_hooks = nullptr;
   /// Shared health counters; null = don't count.
   ControlCounters* counters = nullptr;
+  /// Observability registry; null = no spans/histograms. When set, each
+  /// pull's wall-clock latency lands in the "ctrl.agent.pull.seconds"
+  /// histogram (shared across all agents bound to the registry).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class EndpointAgent {
@@ -79,6 +83,7 @@ class EndpointAgent {
   std::vector<RouteEntry> routes_;
   std::uint64_t polls_ = 0;
   std::uint32_t failed_pulls_ = 0;
+  obs::Histogram* pull_latency_ = nullptr;  ///< stable registry reference
 };
 
 /// Convergence experiment: `n_agents` agents polling `store`; a publish

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "megate/ctrl/sync_model.h"
+#include "megate/obs/metrics.h"
 #include "megate/tm/traffic.h"
 
 namespace megate::ctrl {
@@ -36,6 +37,10 @@ struct HybridSyncOptions {
   /// number of attempts is 1/(1-p) and the polling tail's staleness
   /// stretches by that factor. Must be in [0, 1).
   double pull_drop_rate = 0.0;
+  /// Observability registry; null = no spans/gauges. Planning time lands
+  /// in the "ctrl.hybrid_sync.plan" span and the plan's headline numbers
+  /// (persistent/polling split, coverage, staleness) in gauges.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct HybridSyncPlan {

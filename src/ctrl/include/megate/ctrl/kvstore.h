@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "megate/obs/metrics.h"
+
 namespace megate::ctrl {
 
 using Version = std::uint64_t;
@@ -86,6 +88,15 @@ class KvStore {
   std::uint64_t unavailable_count() const noexcept {
     return unavailable_.load(std::memory_order_relaxed);
   }
+  /// GET queries served by one shard (query_count() == sum over shards).
+  std::uint64_t shard_query_count(std::size_t shard) const;
+
+  /// Exposes query/unavailable/per-shard-query counters plus version and
+  /// occupancy gauges in `registry` under `<prefix>.` (default "kv").
+  /// Snapshot-time reads of the live atomics — no second counter copy.
+  /// This KvStore must outlive the registry's use of it.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "kv") const;
 
  private:
   struct Shard {
@@ -94,6 +105,8 @@ class KvStore {
     bool up = true;
     /// Redo log of writes that arrived while down, replayed on recovery.
     std::vector<std::pair<std::string, std::string>> pending;
+    /// GET queries served by (routed to) this shard.
+    mutable std::atomic<std::uint64_t> queries{0};
   };
   Shard& shard_for(const std::string& key);
   const Shard& shard_for(const std::string& key) const;

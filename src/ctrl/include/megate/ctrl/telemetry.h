@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "megate/dataplane/host_stack.h"
+#include "megate/obs/metrics.h"
 #include "megate/tm/traffic.h"
 
 namespace megate::ctrl {
@@ -48,6 +49,23 @@ struct ControlCounters {
   std::uint64_t incremental_warm_start_rounds = 0;  ///< 0-pivot stage-1 LPs
   std::uint64_t incremental_invalidations = 0;  ///< topology-forced drops
 };
+
+/// Exposes every ControlCounters cell in `registry` under `<prefix>.`
+/// (default "ctrl."). The struct stays the single storage — the registry
+/// reads the live fields at snapshot time, so folding the counters into a
+/// metrics export can never double-count or perturb the hot poll path.
+/// `counters` must outlive the registry's use of it.
+void register_counters(obs::MetricsRegistry& registry,
+                       const ControlCounters& counters,
+                       const std::string& prefix = "ctrl");
+
+/// Invokes `fn(name, value)` once per ControlCounters cell (same names
+/// and order as register_counters). Lets short-lived owners — e.g. the
+/// chaos loop, whose counters die with its stack frame — freeze final
+/// values into a registry without leaving dangling read callbacks.
+void for_each_counter(
+    const ControlCounters& counters,
+    const std::function<void(const char*, std::uint64_t)>& fn);
 
 struct TelemetryOptions {
   /// TE period length; volume (bytes) over this window becomes Gbps.

@@ -51,6 +51,7 @@ Version KvStore::publish(
 GetStatus KvStore::try_get(const std::string& key, std::string* value) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   const Shard& s = shard_for(key);
+  s.queries.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(s.mu);
   if (!s.up) {
     unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +108,31 @@ std::size_t KvStore::size() const {
     total += s->data.size();
   }
   return total;
+}
+
+std::uint64_t KvStore::shard_query_count(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("shard index out of range");
+  }
+  return shards_[shard]->queries.load(std::memory_order_relaxed);
+}
+
+void KvStore::bind_metrics(obs::MetricsRegistry& registry,
+                           const std::string& prefix) const {
+  registry.expose_counter(prefix + ".queries",
+                          [this]() { return query_count(); });
+  registry.expose_counter(prefix + ".unavailable",
+                          [this]() { return unavailable_count(); });
+  registry.expose_counter(prefix + ".version",
+                          [this]() { return version(); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    registry.expose_counter(
+        prefix + ".shard" + std::to_string(i) + ".queries",
+        [this, i]() { return shard_query_count(i); });
+  }
+  registry.expose_gauge(prefix + ".keys", [this]() {
+    return static_cast<double>(size());
+  });
 }
 
 }  // namespace megate::ctrl

@@ -41,17 +41,38 @@ std::optional<FiveTuple> HostStack::classify(const Ipv4Header& ip,
     }
     if (ip.first_fragment()) {
       // Remember ipid -> tuple so later fragments can be attributed.
-      frag_map_.update(ip.identification, t);
+      if (!frag_map_.update(ip.identification, FragEntry{t, frag_gen_})) {
+        ++counters_.map_full_drops;
+      }
     }
     return t;
   }
   // Subsequent fragment: resolve via frag_map; unknown ipid means we
-  // missed the first fragment — unattributable.
-  auto t = frag_map_.lookup(ip.identification);
-  if (t && !ip.more_fragments) {
-    frag_map_.erase(ip.identification);  // last fragment: flow reassembled
+  // missed the first fragment — unattributable. The entry is deliberately
+  // NOT erased on the last fragment: fragments may arrive out of order,
+  // so middle fragments can still be in flight after the last one, and
+  // the last fragment itself may be lost. Instead every hit refreshes the
+  // entry's generation and expire_frag_entries() reclaims entries that
+  // stayed idle for a full collection period.
+  std::optional<FiveTuple> tuple;
+  frag_map_.update_in_place(ip.identification, [&](FragEntry& e) {
+    e.gen = frag_gen_;
+    tuple = e.tuple;
+  });
+  return tuple;
+}
+
+void HostStack::expire_frag_entries() {
+  // Reclaim entries untouched since the previous collection (their gen is
+  // older than the current period). Two-phase because erasing while
+  // iterating an EbpfMap is undefined.
+  std::vector<std::uint16_t> stale;
+  for (const auto& [ipid, entry] : frag_map_) {
+    if (entry.gen < frag_gen_) stale.push_back(ipid);
   }
-  return t;
+  for (std::uint16_t ipid : stale) frag_map_.erase(ipid);
+  counters_.frag_entries_expired += stale.size();
+  ++frag_gen_;
 }
 
 TcVerdict HostStack::tc_egress(ConstBytes frame,
@@ -60,12 +81,18 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
   auto eth = EthernetHeader::parse(frame);
   if (!eth || eth->ether_type != kEtherTypeIpv4) {
     verdict.action = TcVerdict::Action::kDropMalformed;
+    verdict.drop_reason = DropReason::kBadEthernet;
+    ++counters_.egress_malformed;
+    ++counters_.egress_bad_ethernet;
     return verdict;
   }
   ConstBytes ip_bytes = frame.subspan(kEthernetHeaderSize);
   auto ip = Ipv4Header::parse(ip_bytes);
   if (!ip) {
     verdict.action = TcVerdict::Action::kDropMalformed;
+    verdict.drop_reason = DropReason::kBadIpv4;
+    ++counters_.egress_malformed;
+    ++counters_.egress_bad_ipv4;
     return verdict;
   }
   const ConstBytes l4 = ip_bytes.subspan(kIpv4HeaderSize);
@@ -78,8 +105,12 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
           s.bytes += wire_bytes;
           s.packets += 1;
         })) {
-      traffic_map_.update(*tuple, FlowStats{wire_bytes, 1});
+      if (!traffic_map_.update(*tuple, FlowStats{wire_bytes, 1})) {
+        ++counters_.map_full_drops;
+      }
     }
+  } else {
+    ++counters_.unattributed_packets;
   }
 
   // --- segment routing insertion ---
@@ -98,6 +129,7 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
     // five-tuple hashed by the WAN edge, i.e. conventional TE).
     verdict.action = TcVerdict::Action::kPass;
     verdict.packet.assign(frame.begin(), frame.end());
+    ++counters_.egress_passed;
     return verdict;
   }
 
@@ -106,6 +138,16 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
   SrHeader sr;
   sr.offset = 0;
   sr.hops = *hops;
+  if (!sr.valid()) {
+    // An installed route the SR header cannot carry (e.g. > kSrMaxHops).
+    // Fall back to the conventional path rather than emit a truncated
+    // header the far side would mis-parse.
+    ++counters_.sr_serialize_errors;
+    verdict.action = TcVerdict::Action::kPass;
+    verdict.packet.assign(frame.begin(), frame.end());
+    ++counters_.egress_passed;
+    return verdict;
+  }
 
   VxlanHeader vxlan;
   vxlan.vni = options_.vni;
@@ -137,48 +179,71 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
   outer_udp.serialize(out);
 
   vxlan.serialize(out);
-  sr.serialize(out);
+  // Cannot fail: sr.valid() was checked before building the outer frame.
+  const bool ok = sr.serialize(out);
+  (void)ok;
   out.insert(out.end(), frame.begin(), frame.end());
 
   verdict.action = TcVerdict::Action::kEncapsulated;
   verdict.packet = std::move(out);
+  ++counters_.egress_encapsulated;
   return verdict;
 }
 
 HostStack::IngressResult HostStack::vtep_ingress(ConstBytes underlay_frame) {
   IngressResult res;
+  const auto drop = [&](DropReason reason) -> IngressResult& {
+    res.action = IngressResult::Action::kDropMalformed;
+    res.drop_reason = reason;
+    ++counters_.ingress_malformed;
+    switch (reason) {
+      case DropReason::kBadEthernet: ++counters_.ingress_bad_ethernet; break;
+      case DropReason::kBadIpv4: ++counters_.ingress_bad_ipv4; break;
+      case DropReason::kBadUdp: ++counters_.ingress_bad_udp; break;
+      case DropReason::kBadVxlan: ++counters_.ingress_bad_vxlan; break;
+      case DropReason::kBadSrHeader: ++counters_.ingress_bad_sr; break;
+      case DropReason::kBadInner: ++counters_.ingress_bad_inner; break;
+      case DropReason::kNone: break;
+    }
+    return res;
+  };
   auto eth = EthernetHeader::parse(underlay_frame);
-  if (!eth || eth->ether_type != kEtherTypeIpv4) return res;  // malformed
+  if (!eth || eth->ether_type != kEtherTypeIpv4) {
+    return drop(DropReason::kBadEthernet);
+  }
   ConstBytes rest = underlay_frame.subspan(kEthernetHeaderSize);
   auto ip = Ipv4Header::parse(rest);
-  if (!ip) return res;
+  if (!ip) return drop(DropReason::kBadIpv4);
   if (ip->protocol != kProtoUdp) {
     res.action = IngressResult::Action::kNotVxlan;
+    ++counters_.ingress_not_vxlan;
     return res;
   }
   rest = rest.subspan(kIpv4HeaderSize);
   auto udp = UdpHeader::parse(rest);
-  if (!udp) return res;
+  if (!udp) return drop(DropReason::kBadUdp);
   if (udp->dst_port != kVxlanPort) {
     res.action = IngressResult::Action::kNotVxlan;
+    ++counters_.ingress_not_vxlan;
     return res;
   }
   rest = rest.subspan(kUdpHeaderSize);
   auto vxlan = VxlanHeader::parse(rest);
-  if (!vxlan) return res;
+  if (!vxlan) return drop(DropReason::kBadVxlan);
   rest = rest.subspan(kVxlanHeaderSize);
   res.vni = vxlan->vni;
   if (vxlan->megate_sr) {
     auto sr = SrHeader::parse(rest);
-    if (!sr) return res;  // flagged but absent/corrupt: drop
+    if (!sr) return drop(DropReason::kBadSrHeader);
     res.had_sr_header = true;
     rest = rest.subspan(sr->wire_size());
   }
   // What remains is the original instance frame; sanity-check it parses
   // as Ethernet before handing it to the instance.
-  if (!EthernetHeader::parse(rest)) return res;
+  if (!EthernetHeader::parse(rest)) return drop(DropReason::kBadInner);
   res.inner.assign(rest.begin(), rest.end());
   res.action = IngressResult::Action::kDecapsulated;
+  ++counters_.ingress_decapsulated;
   return res;
 }
 
@@ -207,7 +272,10 @@ std::vector<InstancePairReport> HostStack::collect_pair_report(bool reset) {
   std::unordered_map<Key, InstancePairReport, KeyHash> agg;
   for (const auto& [tuple, stats] : traffic_map_) {
     auto instance = inf_map_.lookup(tuple);
-    if (!instance) continue;  // unattributed flow
+    if (!instance) {
+      ++counters_.unattributed_flows;  // no conntrack event seen
+      continue;
+    }
     InstancePairReport& r = agg[Key{*instance, tuple.dst_ip}];
     r.src_instance = *instance;
     r.dst_ip = tuple.dst_ip;
@@ -217,7 +285,10 @@ std::vector<InstancePairReport> HostStack::collect_pair_report(bool reset) {
   std::vector<InstancePairReport> out;
   out.reserve(agg.size());
   for (auto& [key, r] : agg) out.push_back(r);
-  if (reset) traffic_map_.clear();
+  if (reset) {
+    traffic_map_.clear();
+    expire_frag_entries();
+  }
   return out;
 }
 
@@ -226,7 +297,10 @@ std::vector<InstanceReport> HostStack::collect_flow_report(bool reset) {
   std::unordered_map<InstanceId, InstanceReport> agg;
   for (const auto& [tuple, stats] : traffic_map_) {
     auto instance = inf_map_.lookup(tuple);
-    if (!instance) continue;  // unattributed flow (no conntrack event seen)
+    if (!instance) {
+      ++counters_.unattributed_flows;  // no conntrack event seen
+      continue;
+    }
     InstanceReport& r = agg[*instance];
     r.instance = *instance;
     r.bytes += stats.bytes;
@@ -235,8 +309,50 @@ std::vector<InstanceReport> HostStack::collect_flow_report(bool reset) {
   std::vector<InstanceReport> out;
   out.reserve(agg.size());
   for (auto& [id, r] : agg) out.push_back(r);
-  if (reset) traffic_map_.clear();
+  if (reset) {
+    traffic_map_.clear();
+    expire_frag_entries();
+  }
   return out;
+}
+
+void HostStack::bind_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) {
+  const DataplaneCounters* c = &counters_;
+  const auto cell = [&](const char* name, const std::uint64_t* field) {
+    registry.expose_counter(prefix + "." + name,
+                            [field]() { return *field; });
+  };
+  cell("egress_passed", &c->egress_passed);
+  cell("egress_encapsulated", &c->egress_encapsulated);
+  cell("egress_malformed", &c->egress_malformed);
+  cell("egress_bad_ethernet", &c->egress_bad_ethernet);
+  cell("egress_bad_ipv4", &c->egress_bad_ipv4);
+  cell("ingress_decapsulated", &c->ingress_decapsulated);
+  cell("ingress_not_vxlan", &c->ingress_not_vxlan);
+  cell("ingress_malformed", &c->ingress_malformed);
+  cell("ingress_bad_ethernet", &c->ingress_bad_ethernet);
+  cell("ingress_bad_ipv4", &c->ingress_bad_ipv4);
+  cell("ingress_bad_udp", &c->ingress_bad_udp);
+  cell("ingress_bad_vxlan", &c->ingress_bad_vxlan);
+  cell("ingress_bad_sr", &c->ingress_bad_sr);
+  cell("ingress_bad_inner", &c->ingress_bad_inner);
+  cell("unattributed_packets", &c->unattributed_packets);
+  cell("unattributed_flows", &c->unattributed_flows);
+  cell("frag_entries_expired", &c->frag_entries_expired);
+  cell("sr_serialize_errors", &c->sr_serialize_errors);
+  cell("map_full_drops", &c->map_full_drops);
+
+  const auto occupancy = [&](const char* name, auto* map) {
+    registry.expose_gauge(prefix + ".map." + name + std::string(".entries"),
+                          [map]() { return static_cast<double>(map->size()); });
+  };
+  occupancy("env", &env_map_);
+  occupancy("contk", &contk_map_);
+  occupancy("inf", &inf_map_);
+  occupancy("traffic", &traffic_map_);
+  occupancy("frag", &frag_map_);
+  occupancy("path", &path_map_);
 }
 
 }  // namespace megate::dataplane

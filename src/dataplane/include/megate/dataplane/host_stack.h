@@ -16,12 +16,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "megate/dataplane/ebpf.h"
 #include "megate/dataplane/packet.h"
 #include "megate/dataplane/sr_header.h"
 #include "megate/dataplane/vxlan.h"
+#include "megate/obs/metrics.h"
 
 namespace megate::dataplane {
 
@@ -33,12 +35,21 @@ using InstanceId = std::uint64_t;
 /// endpoint index in the low 20 (4096 sites x ~1M endpoints per site).
 /// The TC program uses this to select the per-destination-site SR route.
 inline constexpr std::uint32_t kOverlaySiteShift = 20;
+/// Mask of the endpoint-index bits — derived from the shift so the two can
+/// never drift apart. Every consumer of the overlay convention (this file,
+/// the telemetry collector, tests) must use these helpers rather than a
+/// hand-written mask.
+inline constexpr std::uint32_t kOverlayIndexMask =
+    (std::uint32_t{1} << kOverlaySiteShift) - 1;
 constexpr std::uint32_t make_overlay_ip(std::uint32_t site,
                                         std::uint32_t index) {
-  return (site << kOverlaySiteShift) | (index & 0xFFFFF);
+  return (site << kOverlaySiteShift) | (index & kOverlayIndexMask);
 }
 constexpr std::uint32_t overlay_ip_site(std::uint32_t ip) {
   return ip >> kOverlaySiteShift;
+}
+constexpr std::uint32_t overlay_ip_index(std::uint32_t ip) {
+  return ip & kOverlayIndexMask;
 }
 
 /// Wildcard destination site: the route applies to every destination.
@@ -68,11 +79,53 @@ struct InstancePairReport {
   std::uint64_t packets = 0;
 };
 
+/// Why a frame was dropped (or why processing stopped early). One counter
+/// per reason lives in DataplaneCounters so malformed traffic is visible
+/// instead of silently vanishing.
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kBadEthernet,    ///< truncated / non-IPv4 Ethernet header
+  kBadIpv4,        ///< truncated or invalid IPv4 header
+  kBadUdp,         ///< truncated UDP header
+  kBadVxlan,       ///< truncated or invalid VXLAN header
+  kBadSrHeader,    ///< SR flag set but header absent/corrupt
+  kBadInner,       ///< decapsulated payload is not an Ethernet frame
+};
+
 /// Result of pushing one packet through the TC egress program.
 struct TcVerdict {
   enum class Action { kPass, kEncapsulated, kDropMalformed };
   Action action = Action::kPass;
+  DropReason drop_reason = DropReason::kNone;
   Buffer packet;  ///< the (possibly encapsulated) outgoing frame
+};
+
+/// Dataplane health counters — every silent-drop path in the host stack
+/// increments exactly one of these. Single-writer (the owning HostStack),
+/// exported through MetricsRegistry::expose_counter by bind_metrics().
+struct DataplaneCounters {
+  // tc_egress outcomes.
+  std::uint64_t egress_passed = 0;
+  std::uint64_t egress_encapsulated = 0;
+  std::uint64_t egress_malformed = 0;
+  std::uint64_t egress_bad_ethernet = 0;
+  std::uint64_t egress_bad_ipv4 = 0;
+  // vtep_ingress outcomes.
+  std::uint64_t ingress_decapsulated = 0;
+  std::uint64_t ingress_not_vxlan = 0;
+  std::uint64_t ingress_malformed = 0;
+  std::uint64_t ingress_bad_ethernet = 0;
+  std::uint64_t ingress_bad_ipv4 = 0;
+  std::uint64_t ingress_bad_udp = 0;
+  std::uint64_t ingress_bad_vxlan = 0;
+  std::uint64_t ingress_bad_sr = 0;
+  std::uint64_t ingress_bad_inner = 0;
+  // Attribution / map health.
+  std::uint64_t unattributed_packets = 0;  ///< classify() failed at egress
+  std::uint64_t unattributed_flows = 0;    ///< skipped at report collection
+  std::uint64_t frag_entries_expired = 0;  ///< stale frag_map reclamation
+  std::uint64_t sr_serialize_errors = 0;   ///< invalid route at encap time
+  std::uint64_t map_full_drops = 0;        ///< eBPF map update hit capacity
 };
 
 struct HostStackOptions {
@@ -110,6 +163,7 @@ class HostStack {
       kDropMalformed,
     };
     Action action = Action::kDropMalformed;
+    DropReason drop_reason = DropReason::kNone;
     Buffer inner;
     std::uint32_t vni = 0;
     bool had_sr_header = false;
@@ -142,6 +196,17 @@ class HostStack {
   /// traffic counters when `reset`.
   std::vector<InstancePairReport> collect_pair_report(bool reset = true);
 
+  // --- observability ----------------------------------------------------
+  /// Cumulative dataplane counters (single-writer; read any time).
+  const DataplaneCounters& counters() const noexcept { return counters_; }
+
+  /// Registers every DataplaneCounters cell plus per-map occupancy gauges
+  /// with `registry` under `<prefix>.`. The registry reads the live
+  /// storage at snapshot time — no second copy of any counter exists.
+  /// `registry` must outlive this HostStack's use of it.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "dataplane");
+
   // --- introspection for tests ------------------------------------------
   std::optional<InstanceId> instance_of(const FiveTuple& t) const {
     return inf_map_.lookup(t);
@@ -156,6 +221,10 @@ class HostStack {
   /// for non-first fragments (which carry no L4 header).
   std::optional<FiveTuple> classify(const Ipv4Header& ip, ConstBytes l4);
 
+  /// Reclaims frag_map entries not touched since the previous collection
+  /// and advances the generation. Called from collect_* when `reset`.
+  void expire_frag_entries();
+
   /// path_map key: (instance, destination site).
   struct RouteKey {
     InstanceId instance;
@@ -169,13 +238,27 @@ class HostStack {
     }
   };
 
+  /// frag_map value: the flow's five-tuple plus the generation (TE
+  /// collection period) in which the entry was last touched. Entries idle
+  /// for a full period are reclaimed by expire_frag_entries() — the last
+  /// fragment must NOT erase eagerly, because fragments can arrive out of
+  /// order and middle fragments still in flight would become
+  /// unattributable; and a *lost* last fragment would leak the entry
+  /// forever without periodic expiry.
+  struct FragEntry {
+    FiveTuple tuple;
+    std::uint64_t gen = 0;
+  };
+
   HostStackOptions options_;
   EbpfMap<Pid, InstanceId> env_map_;
   EbpfMap<FiveTuple, Pid, FiveTupleHash> contk_map_;
   EbpfMap<FiveTuple, InstanceId, FiveTupleHash> inf_map_;
   EbpfMap<FiveTuple, FlowStats, FiveTupleHash> traffic_map_;
-  EbpfMap<std::uint16_t, FiveTuple> frag_map_;  ///< ipid -> five tuple
+  EbpfMap<std::uint16_t, FragEntry> frag_map_;  ///< ipid -> flow + gen
   EbpfMap<RouteKey, std::vector<std::uint32_t>, RouteKeyHash> path_map_;
+  std::uint64_t frag_gen_ = 0;
+  DataplaneCounters counters_;
 };
 
 }  // namespace megate::dataplane

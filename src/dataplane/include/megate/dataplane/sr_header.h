@@ -30,9 +30,18 @@ struct SrHeader {
   bool at_last_hop() const noexcept { return offset + 1 >= hops.size(); }
   std::uint32_t next_hop() const { return hops[offset]; }
 
-  void serialize(Buffer& out) const;
+  /// Serializes the header, appending to `out`. Returns false — leaving
+  /// `out` untouched — when the header cannot be represented on the wire:
+  /// no hops, more than kSrMaxHops (the hop count is a single byte and
+  /// parse() rejects anything above the cap), or offset > hop count.
+  [[nodiscard]] bool serialize(Buffer& out) const;
   /// Parses; fails on truncation, offset > hop count, or > kSrMaxHops.
   static std::optional<SrHeader> parse(ConstBytes in);
+  /// True iff serialize() would succeed.
+  bool valid() const noexcept {
+    return !hops.empty() && hops.size() <= kSrMaxHops &&
+           offset <= hops.size();
+  }
 };
 
 }  // namespace megate::dataplane

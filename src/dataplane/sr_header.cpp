@@ -2,11 +2,16 @@
 
 namespace megate::dataplane {
 
-void SrHeader::serialize(Buffer& out) const {
+bool SrHeader::serialize(Buffer& out) const {
+  // The hop count is one wire byte and parse() rejects 0 or > kSrMaxHops:
+  // refuse to emit a header that could never round-trip instead of
+  // silently truncating hops.size() to its low 8 bits.
+  if (!valid()) return false;
   out.push_back(static_cast<std::uint8_t>(hops.size()));
   out.push_back(offset);
   put_u16(out, 0);  // reserved
   for (std::uint32_t hop : hops) put_u32(out, hop);
+  return true;
 }
 
 std::optional<SrHeader> SrHeader::parse(ConstBytes in) {

@@ -149,12 +149,15 @@ ChaosReport run_chaos(const ChaosOptions& options) {
       std::unique(instance_ids.begin(), instance_ids.end()),
       instance_ids.end());
 
+  obs::MetricsRegistry* reg = options.metrics;
+
   ctrl::AgentOptions aopt;
   aopt.poll_interval_s = options.poll_interval_s;
   aopt.max_pull_retries = options.max_pull_retries;
   aopt.retry_backoff_s = options.retry_backoff_s;
   aopt.fault_hooks = &injector;
   aopt.counters = &report.counters;
+  aopt.metrics = reg;
   std::vector<ctrl::EndpointAgent> agents;
   agents.reserve(instance_ids.size());
   std::unordered_map<std::uint64_t, const ctrl::EndpointAgent*> by_id;
@@ -163,7 +166,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   }
   for (const auto& a : agents) by_id[a.instance_id()] = &a;
 
-  te::MegaTeSolver solver;
+  te::MegaTeOptions sopt;
+  sopt.metrics = reg;
+  te::MegaTeSolver solver(sopt);
   double last_satisfied = 0.0;
   double last_solution_util = 0.0;
 
@@ -252,6 +257,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     for (const auto& a : agents) {
       if (a.applied_version() == stats.version) ++stats.agents_converged;
     }
+    if (reg != nullptr) {
+      reg->histogram("chaos.interval.routed_demand_ratio")
+          .observe(stats.routed_demand_ratio);
+      reg->histogram("chaos.interval.installed_max_utilization")
+          .observe(stats.installed_max_utilization);
+      reg->counter("chaos.resolves").inc(stats.resolves);
+    }
     report.intervals.push_back(stats);
   }
 
@@ -305,6 +317,36 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   h = fnv1a(h, &report.final_version, sizeof(report.final_version));
   for (const std::string& v : report.violations) h = fnv1a(h, v);
   report.fingerprint = h;
+
+  // --- freeze run totals into the registry --------------------------------
+  // The KvStore and report.counters die with this frame (the report is
+  // returned by value), so every callback-exported name is re-bound to a
+  // value-capturing closure: same names as the live bindings, final
+  // values, nothing dangling after return.
+  if (reg != nullptr) {
+    ctrl::for_each_counter(
+        report.counters, [&](const char* name, std::uint64_t v) {
+          reg->expose_counter(std::string("ctrl.") + name,
+                              [v]() { return v; });
+        });
+    const auto freeze = [&](const std::string& name, std::uint64_t v) {
+      reg->expose_counter(name, [v]() { return v; });
+    };
+    freeze("kv.queries", kv.query_count());
+    freeze("kv.unavailable", kv.unavailable_count());
+    freeze("kv.version", kv.version());
+    for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+      freeze("kv.shard" + std::to_string(i) + ".queries",
+             kv.shard_query_count(i));
+    }
+    reg->gauge("kv.keys").set(static_cast<double>(kv.size()));
+    reg->counter("chaos.violations").inc(report.violations.size());
+    reg->counter("chaos.fault_events").inc(report.event_log.size());
+    reg->gauge("chaos.converged_within_k")
+        .set(report.converged_within_k ? 1.0 : 0.0);
+    reg->gauge("chaos.final_version")
+        .set(static_cast<double>(report.final_version));
+  }
   return report;
 }
 

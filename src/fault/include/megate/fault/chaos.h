@@ -78,6 +78,15 @@ struct ChaosOptions {
   /// old/new data-plane states of the eventual-consistency window stay
   /// feasible. Must be in (0, 1].
   double solve_headroom = 0.5;
+
+  // --- observability ------------------------------------------------------
+  /// Optional metrics registry. During the run it receives the solver's
+  /// spans/histograms, the agents' pull-latency histogram and per-interval
+  /// chaos histograms; on completion the KvStore and ControlCounters
+  /// totals are frozen into it (the live objects die with run_chaos's
+  /// frame, so their exported names are re-bound to final values).
+  /// Metrics never feed the report fingerprint — determinism is untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct IntervalStats {

@@ -1,0 +1,129 @@
+#pragma once
+// Minimal JSON value + parser + the megate metrics export schema.
+//
+// Every metrics export in the repo — megate_cli --metrics-json and each
+// bench target's BENCH_<name>.json — is one document of this shape:
+//
+//   {
+//     "schema":     "megate.metrics/1",
+//     "source":     "megate_cli solve" | "bench/fig09_runtime" | ...,
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "count": <uint>, "sum": <number>,
+//                                 "min": <number>, "max": <number>,
+//                                 "buckets": [ { "le": <number>,
+//                                                "count": <uint> }, ... ] } },
+//     "spans":      [ { "path": <string>, "thread": <uint>,
+//                       "depth": <uint>, "start_s": <number>,
+//                       "duration_s": <number> }, ... ],
+//     "extra":      { ... }            // optional, free-form per bench
+//   }
+//
+// validate_metrics_json is the single source of truth for that schema;
+// tools/check_metrics_json and tests/obs_test.cpp both call it.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "megate/obs/metrics.h"
+
+namespace megate::obs {
+
+/// Schema identifier; bump the suffix on any breaking change.
+inline constexpr const char* kMetricsSchema = "megate.metrics/1";
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Items{};
+    return j;
+  }
+
+  Type type() const noexcept {
+    switch (value_.index()) {
+      case 0: return Type::kNull;
+      case 1: return Type::kBool;
+      case 2: return Type::kNumber;
+      case 3: return Type::kString;
+      case 4: return Type::kObject;
+      default: return Type::kArray;
+    }
+  }
+  bool is_object() const noexcept { return type() == Type::kObject; }
+  bool is_array() const noexcept { return type() == Type::kArray; }
+  bool is_number() const noexcept { return type() == Type::kNumber; }
+  bool is_string() const noexcept { return type() == Type::kString; }
+  /// A number with an exact non-negative integral value.
+  bool is_uint() const noexcept;
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_number());
+  }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  /// Object member set (insertion-ordered). `set` replaces an existing key.
+  Json& set(std::string key, Json v);
+  const Json* find(std::string_view key) const;
+
+  Json& push(Json v);
+
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Items = std::vector<Json>;
+  const Members& members() const { return std::get<Members>(value_); }
+  const Items& items() const { return std::get<Items>(value_); }
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Strict-ish JSON parser (numbers, strings with standard escapes,
+  /// true/false/null, arrays, objects). nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Members, Items>
+      value_;
+};
+
+/// Builds the schema document above from a registry snapshot.
+Json metrics_to_json(const MetricsSnapshot& snapshot,
+                     const std::string& source, Json extra = Json());
+Json metrics_to_json(const MetricsRegistry& registry,
+                     const std::string& source, Json extra = Json());
+
+/// Validates a parsed document against megate.metrics/1. Returns the
+/// violations found (empty == valid).
+std::vector<std::string> validate_metrics_json(const Json& doc);
+
+/// Serializes `registry` and writes to `path` ("-" = stdout). The emitted
+/// document is validated first; returns false on a schema or IO failure.
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& source, const std::string& path,
+                        Json extra = Json());
+
+}  // namespace megate::obs

@@ -1,0 +1,528 @@
+#include "megate/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "megate/obs/span.h"
+
+namespace megate::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; clamp to a sentinel the schema tolerates.
+    out += d > 0 ? "1e308" : (d < 0 ? "-1e308" : "0");
+    return;
+  }
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) == lit) {
+      i += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto str = string();
+        if (!str) return std::nullopt;
+        return Json(std::move(*str));
+      }
+      case 't': return literal("true") ? std::optional<Json>(Json(true))
+                                       : std::nullopt;
+      case 'f': return literal("false") ? std::optional<Json>(Json(false))
+                                        : std::nullopt;
+      case 'n': return literal("null") ? std::optional<Json>(Json())
+                                       : std::nullopt;
+      default: return number();
+    }
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (i < s.size()) {
+      char c = s[i++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (i >= s.size()) return std::nullopt;
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 4 > s.size()) return std::nullopt;
+            unsigned cp = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = s[i++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= h - '0';
+              else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+              else return std::nullopt;
+            }
+            // Minimal UTF-8 encoding (no surrogate-pair handling; the
+            // exporter never emits them).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      eat_digits();
+    }
+    if (!digits) return std::nullopt;
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+      bool exp_digits = false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+        exp_digits = true;
+      }
+      if (!exp_digits) return std::nullopt;
+    }
+    return Json(std::stod(std::string(s.substr(start, i - start))));
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push(std::move(*v));
+      if (eat(']')) return arr;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      if (!eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      if (eat('}')) return obj;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+};
+
+void dump_impl(const Json& j, std::string& out, int indent, int depth) {
+  const std::string pad(indent > 0 ? indent * (depth + 1) : 0, ' ');
+  const std::string close_pad(indent > 0 ? indent * depth : 0, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (j.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += j.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: append_number(out, j.as_number()); break;
+    case Json::Type::kString: append_escaped(out, j.as_string()); break;
+    case Json::Type::kObject: {
+      if (j.members().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      bool first = true;
+      for (const auto& [key, v] : j.members()) {
+        if (!first) {
+          out += ',';
+          out += nl;
+        }
+        first = false;
+        out += pad;
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        dump_impl(v, out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += '}';
+      break;
+    }
+    case Json::Type::kArray: {
+      if (j.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      bool first = true;
+      for (const Json& v : j.items()) {
+        if (!first) {
+          out += ',';
+          out += nl;
+        }
+        first = false;
+        out += pad;
+        dump_impl(v, out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::is_uint() const noexcept {
+  if (type() != Type::kNumber) return false;
+  const double d = std::get<double>(value_);
+  return d >= 0.0 && d == std::floor(d) && d < 1.9e19;
+}
+
+Json& Json::set(std::string key, Json v) {
+  auto& m = std::get<Members>(value_);
+  for (auto& [k, existing] : m) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  m.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::push(Json v) {
+  std::get<Items>(value_).push_back(std::move(v));
+  return *this;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(*this, out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+Json metrics_to_json(const MetricsSnapshot& snapshot,
+                     const std::string& source, Json extra) {
+  Json doc = Json::object();
+  doc.set("schema", kMetricsSchema);
+  doc.set("source", source);
+
+  Json counters = Json::object();
+  for (const auto& [name, v] : snapshot.counters) counters.set(name, v);
+  doc.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, v] : snapshot.gauges) gauges.set(name, v);
+  doc.set("gauges", std::move(gauges));
+
+  Json histograms = Json::object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    Json hj = Json::object();
+    hj.set("count", h.count);
+    hj.set("sum", h.sum);
+    hj.set("min", h.min);
+    hj.set("max", h.max);
+    Json buckets = Json::array();
+    for (const auto& [le, n] : h.buckets) {
+      Json b = Json::object();
+      b.set("le", le);
+      b.set("count", n);
+      buckets.push(std::move(b));
+    }
+    hj.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(hj));
+  }
+  doc.set("histograms", std::move(histograms));
+
+  Json spans = Json::array();
+  for (const SpanRecord& s : snapshot.spans) {
+    Json sj = Json::object();
+    sj.set("path", s.path);
+    sj.set("thread", static_cast<std::uint64_t>(s.thread));
+    sj.set("depth", static_cast<std::uint64_t>(s.depth));
+    sj.set("start_s", s.start_s);
+    sj.set("duration_s", s.duration_s);
+    spans.push(std::move(sj));
+  }
+  doc.set("spans", std::move(spans));
+  if (snapshot.spans_dropped > 0) {
+    doc.set("spans_dropped", snapshot.spans_dropped);
+  }
+  if (extra.is_object() && !extra.members().empty()) {
+    doc.set("extra", std::move(extra));
+  }
+  return doc;
+}
+
+Json metrics_to_json(const MetricsRegistry& registry,
+                     const std::string& source, Json extra) {
+  return metrics_to_json(registry.snapshot(), source, std::move(extra));
+}
+
+std::vector<std::string> validate_metrics_json(const Json& doc) {
+  std::vector<std::string> errors;
+  auto fail = [&](const std::string& msg) { errors.push_back(msg); };
+  if (!doc.is_object()) {
+    fail("root is not an object");
+    return errors;
+  }
+
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    fail("missing string field 'schema'");
+  } else if (schema->as_string() != kMetricsSchema) {
+    fail("schema is '" + schema->as_string() + "', expected '" +
+         kMetricsSchema + "'");
+  }
+
+  const Json* source = doc.find("source");
+  if (source == nullptr || !source->is_string() ||
+      source->as_string().empty()) {
+    fail("missing non-empty string field 'source'");
+  }
+
+  const Json* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    fail("missing object field 'counters'");
+  } else {
+    for (const auto& [name, v] : counters->members()) {
+      if (!v.is_uint()) fail("counter '" + name + "' is not a uint");
+    }
+  }
+
+  const Json* gauges = doc.find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    fail("missing object field 'gauges'");
+  } else {
+    for (const auto& [name, v] : gauges->members()) {
+      if (!v.is_number()) fail("gauge '" + name + "' is not a number");
+    }
+  }
+
+  const Json* histograms = doc.find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    fail("missing object field 'histograms'");
+  } else {
+    for (const auto& [name, h] : histograms->members()) {
+      if (!h.is_object()) {
+        fail("histogram '" + name + "' is not an object");
+        continue;
+      }
+      const Json* count = h.find("count");
+      if (count == nullptr || !count->is_uint()) {
+        fail("histogram '" + name + "' missing uint 'count'");
+      }
+      for (const char* field : {"sum", "min", "max"}) {
+        const Json* f = h.find(field);
+        if (f == nullptr || !f->is_number()) {
+          fail("histogram '" + name + "' missing number '" + field + "'");
+        }
+      }
+      const Json* buckets = h.find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        fail("histogram '" + name + "' missing array 'buckets'");
+        continue;
+      }
+      std::uint64_t bucket_total = 0;
+      for (const Json& b : buckets->items()) {
+        const Json* le = b.is_object() ? b.find("le") : nullptr;
+        const Json* n = b.is_object() ? b.find("count") : nullptr;
+        if (le == nullptr || !le->is_number() || n == nullptr ||
+            !n->is_uint()) {
+          fail("histogram '" + name + "' has a malformed bucket");
+          break;
+        }
+        bucket_total += n->as_uint();
+      }
+      if (count != nullptr && count->is_uint() &&
+          bucket_total != count->as_uint()) {
+        fail("histogram '" + name + "' bucket counts do not sum to 'count'");
+      }
+    }
+  }
+
+  const Json* spans = doc.find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    fail("missing array field 'spans'");
+  } else {
+    for (const Json& s : spans->items()) {
+      if (!s.is_object()) {
+        fail("span entry is not an object");
+        break;
+      }
+      const Json* path = s.find("path");
+      if (path == nullptr || !path->is_string() || path->as_string().empty()) {
+        fail("span entry missing non-empty string 'path'");
+        break;
+      }
+      for (const char* field : {"thread", "depth"}) {
+        const Json* f = s.find(field);
+        if (f == nullptr || !f->is_uint()) {
+          fail("span entry missing uint '" + std::string(field) + "'");
+        }
+      }
+      for (const char* field : {"start_s", "duration_s"}) {
+        const Json* f = s.find(field);
+        if (f == nullptr || !f->is_number() || f->as_number() < 0.0) {
+          fail("span entry missing non-negative number '" +
+               std::string(field) + "'");
+        }
+      }
+      if (!errors.empty()) break;
+    }
+  }
+
+  for (const auto& [key, v] : doc.members()) {
+    const std::string k = key;
+    if (k == "schema" || k == "source" || k == "counters" || k == "gauges" ||
+        k == "histograms" || k == "spans" || k == "spans_dropped") {
+      continue;
+    }
+    if (k == "extra") {
+      if (!v.is_object()) fail("'extra' is not an object");
+      continue;
+    }
+    fail("unknown top-level field '" + k + "'");
+  }
+  return errors;
+}
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& source, const std::string& path,
+                        Json extra) {
+  const Json doc = metrics_to_json(registry, source, std::move(extra));
+  const auto errors = validate_metrics_json(doc);
+  if (!errors.empty()) {
+    for (const auto& e : errors) {
+      std::cerr << "metrics schema violation: " << e << "\n";
+    }
+    return false;
+  }
+  const std::string text = doc.dump(2) + "\n";
+  if (path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace megate::obs

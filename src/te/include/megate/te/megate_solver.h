@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "megate/lp/simplex.h"
+#include "megate/obs/metrics.h"
 #include "megate/ssp/fast_ssp.h"
 #include "megate/ssp/memo.h"
 #include "megate/te/site_lp.h"
@@ -57,6 +58,12 @@ struct MegaTeOptions {
   /// straddle the split and be dropped — this pass recovers it without
   /// ever violating a link capacity. See DESIGN.md §5.
   bool residual_repair = true;
+  /// Observability registry; null = no spans/metrics (zero overhead on
+  /// the solve path). When set, each solve emits the "te.solve" span with
+  /// nested "stage1"/"stage2" children, per-QoS-round stage timing
+  /// histograms (te.stage1.q<N>.seconds, ...), a per-pair stage-2
+  /// duration histogram, and stage-2 memo hit/miss counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Telemetry of the last solve_incremental call.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "megate/obs/span.h"
 #include "megate/util/stopwatch.h"
 
 namespace megate::te {
@@ -241,6 +244,22 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
   util::Stopwatch total_clock;
   stage1_s_ = stage2_s_ = 0.0;
 
+  // Observability (optional). Handles are resolved once up front; the
+  // per-pair hot loops then pay one relaxed-atomic observe each.
+  obs::MetricsRegistry* reg = options_.metrics;
+  std::optional<obs::Span> solve_span;
+  if (reg != nullptr) solve_span.emplace(*reg, "te.solve");
+  obs::Histogram* pair_hist =
+      reg != nullptr ? &reg->histogram("te.stage2.pair.seconds") : nullptr;
+  obs::Counter* memo_hits =
+      reg != nullptr ? &reg->counter("te.ssp.memo_hits") : nullptr;
+  obs::Counter* memo_misses =
+      reg != nullptr ? &reg->counter("te.ssp.memo_misses") : nullptr;
+  if (reg != nullptr) {
+    reg->counter(incremental ? "te.solves.incremental" : "te.solves.cold")
+        .inc();
+  }
+
   TeSolution sol;
   sol.solver_name = name();
   sol.total_demand_gbps = traffic.total_demand_gbps();
@@ -277,6 +296,10 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
 
   for (std::size_t round = 0; round < num_rounds; ++round) {
     const tm::QosClass qos = rounds[round];
+    // Per-QoS-round histogram suffix ("q1".."q3", or "all" when QoS
+    // sequencing is off and the single round covers every class).
+    const std::string qos_label =
+        sequencing ? "q" + std::to_string(round + 1) : "all";
 
     // --- SiteMerge: aggregate this round's demands to site level ---
     std::unordered_map<topo::SitePair, double, topo::SitePairHash> d_k;
@@ -291,6 +314,8 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
 
     // --- Stage 1: MaxSiteFlow on residual capacity ---
     util::Stopwatch s1;
+    std::optional<obs::Span> s1_span;
+    if (reg != nullptr) s1_span.emplace(*reg, "stage1");
     const lp::SimplexWarmState* warm_in = nullptr;
     lp::SimplexWarmState* warm_out = nullptr;
     if (incremental) {
@@ -309,7 +334,13 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
             : solve_max_site_flow(g, tunnels, d_k, residual,
                                   problem.epsilon, options_.site_lp,
                                   warm_in, warm_out);
-    stage1_s_ += s1.elapsed_seconds();
+    s1_span.reset();
+    const double s1_elapsed = s1.elapsed_seconds();
+    stage1_s_ += s1_elapsed;
+    if (reg != nullptr) {
+      reg->histogram("te.stage1." + qos_label + ".seconds")
+          .observe(s1_elapsed);
+    }
     sol.iterations += lp.iterations;
     if (incremental) {
       if (lp.warm_start_used) {
@@ -322,8 +353,20 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
 
     // --- Stage 2: per-pair FastSSP, parallel across site pairs ---
     util::Stopwatch s2;
+    std::optional<obs::Span> s2_span;
+    if (reg != nullptr) s2_span.emplace(*reg, "stage2");
+    // Per-pair wall time; plain chrono + one histogram observe rather
+    // than a span per pair (spans would record thousands of rows).
+    const auto observe_pair = [pair_hist](
+                                  std::chrono::steady_clock::time_point t0) {
+      if (pair_hist == nullptr) return;
+      pair_hist->observe(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+    };
     if (!incremental) {
       pool.parallel_for(pair_ids.size(), [&](std::size_t p) {
+        const auto t0 = std::chrono::steady_clock::now();
         const topo::SitePair pair = pair_ids[p];
         auto lp_it = lp.alloc.find(pair);
         if (lp_it == lp.alloc.end()) return;
@@ -336,6 +379,7 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
                          solve_pair_stage2(view, lp_it->second, ts.size(),
                                            options_.fast_ssp),
                          alloc);
+        observe_pair(t0);
       });
     } else {
       // Memoized stage 2. The memo key reuses the delta pass's per-pair
@@ -375,11 +419,14 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
         w.hit = inc_state_.memo.lookup(w.slot, w.key);
         if (w.hit != nullptr) {
           ++inc_stats_.ssp_cache_hits;
+          if (memo_hits != nullptr) memo_hits->inc();
         } else {
           ++inc_stats_.ssp_cache_misses;
+          if (memo_misses != nullptr) memo_misses->inc();
         }
       }
       pool.parallel_for(work.size(), [&](std::size_t p) {
+        const auto t0 = std::chrono::steady_clock::now();
         PairWork& w = work[p];
         if (w.f_kt == nullptr) return;
         PairAllocation& alloc = sol.pairs.find(pair_ids[p])->second;
@@ -388,6 +435,7 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
           w.assignment = solve_pair_stage2(w.view, *w.f_kt, w.num_tunnels,
                                            options_.fast_ssp);
           apply_assignment(w.view, w.assignment, alloc);
+          observe_pair(t0);
           return;
         }
         // Hit: the cached assignment is indexed by view position; the
@@ -402,6 +450,7 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
             alloc.tunnel_alloc[t] += flows[i].demand_gbps;
           }
         }
+        observe_pair(t0);
       });
       for (std::size_t p = 0; p < pair_ids.size(); ++p) {
         PairWork& w = work[p];
@@ -410,7 +459,13 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
                                ssp::PairSolveEntry{std::move(w.assignment)});
       }
     }
-    stage2_s_ += s2.elapsed_seconds();
+    s2_span.reset();
+    const double s2_elapsed = s2.elapsed_seconds();
+    stage2_s_ += s2_elapsed;
+    if (reg != nullptr) {
+      reg->histogram("te.stage2." + qos_label + ".seconds")
+          .observe(s2_elapsed);
+    }
 
     // --- Update residual capacities with the *assigned* traffic ---
     for (std::size_t p = 0; p < pair_ids.size(); ++p) {
@@ -486,6 +541,13 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
   }
   sol.satisfied_gbps = satisfied;
   sol.solve_time_s = total_clock.elapsed_seconds();
+  if (reg != nullptr) {
+    reg->gauge("te.last.stage1_seconds").set(stage1_s_);
+    reg->gauge("te.last.stage2_seconds").set(stage2_s_);
+    reg->gauge("te.last.solve_seconds").set(sol.solve_time_s);
+    reg->gauge("te.last.satisfied_gbps").set(satisfied);
+    reg->gauge("te.last.total_demand_gbps").set(sol.total_demand_gbps);
+  }
   // Working set: LP columns + one int per flow.
   sol.est_memory_bytes =
       traffic.num_flows() * (sizeof(std::int32_t) + sizeof(double)) +

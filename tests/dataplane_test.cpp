@@ -185,7 +185,7 @@ TEST(Codec, SrHeaderRoundTrip) {
   h.offset = 2;
   h.hops = {10, 20, 30, 40};
   Buffer b;
-  h.serialize(b);
+  ASSERT_TRUE(h.serialize(b));
   ASSERT_EQ(b.size(), h.wire_size());
   auto p = SrHeader::parse(b);
   ASSERT_TRUE(p.has_value());
@@ -273,7 +273,15 @@ TEST(HostStack, FragmentAttribution) {
   auto stats = hs.stats_of(t);
   ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->packets, 3u) << "all fragments attributed to the flow";
-  EXPECT_EQ(hs.frag_map_size(), 0u) << "last fragment cleans frag_map";
+  // The last fragment no longer erases eagerly (fragments may arrive out
+  // of order); the entry is reclaimed by generation expiry after staying
+  // idle for one full collection period.
+  EXPECT_EQ(hs.frag_map_size(), 1u) << "entry survives until expiry";
+  hs.collect_flow_report(/*reset=*/true);  // touched this period: survives
+  EXPECT_EQ(hs.frag_map_size(), 1u);
+  hs.collect_flow_report(/*reset=*/true);  // idle a full period: reclaimed
+  EXPECT_EQ(hs.frag_map_size(), 0u) << "stale entry expired";
+  EXPECT_EQ(hs.counters().frag_entries_expired, 1u);
 }
 
 TEST(HostStack, UnknownFragmentIgnored) {

@@ -121,7 +121,7 @@ TEST(Fuzz, SrHeaderHopCountBoundary) {
   h.offset = 0;
   h.hops.assign(dataplane::kSrMaxHops, 7);
   Buffer b;
-  h.serialize(b);
+  EXPECT_TRUE(h.serialize(b));
   EXPECT_TRUE(dataplane::SrHeader::parse(b).has_value());
   Buffer oversized;
   oversized.push_back(dataplane::kSrMaxHops + 1);

@@ -1,0 +1,52 @@
+// check_metrics_json — validates metrics JSON documents against the
+// megate.metrics/1 schema (src/obs/include/megate/obs/json.h).
+//
+//   check_metrics_json FILE [FILE...]
+//
+// Exit code 0 when every file parses and validates, 1 otherwise (each
+// violation is printed as "FILE: message"). ci.sh runs this over
+// megate_cli --metrics-json output and every bench target's
+// BENCH_<name>.json, so a schema drift fails the build instead of
+// silently producing unreadable dashboards.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "megate/obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: check_metrics_json FILE [FILE...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto doc = megate::obs::Json::parse(buf.str());
+    if (!doc) {
+      std::cerr << path << ": not valid JSON\n";
+      ++failures;
+      continue;
+    }
+    const auto violations = megate::obs::validate_metrics_json(*doc);
+    if (!violations.empty()) {
+      for (const std::string& v : violations) {
+        std::cerr << path << ": " << v << "\n";
+      }
+      ++failures;
+      continue;
+    }
+    std::cout << path << ": ok\n";
+  }
+  return failures == 0 ? 0 : 1;
+}

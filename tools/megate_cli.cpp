@@ -25,6 +25,8 @@
 
 #include "megate/ctrl/sync_model.h"
 #include "megate/fault/chaos.h"
+#include "megate/obs/json.h"
+#include "megate/obs/metrics.h"
 #include "megate/te/baselines.h"
 #include "megate/te/checker.h"
 #include "megate/te/megate_solver.h"
@@ -48,15 +50,18 @@ int usage(const char* msg = nullptr) {
       "  megate_cli info  --topo FILE [--gml]\n"
       "  megate_cli solve (--topo FILE [--gml] | --kind KIND)\n"
       "                   [--endpoints N] [--load F] [--solver NAME]\n"
-      "                   [--seed N]\n"
-      "  megate_cli sync  --endpoints N\n"
+      "                   [--seed N] [--metrics-json FILE]\n"
+      "  megate_cli sync  --endpoints N [--metrics-json FILE]\n"
       "  megate_cli chaos [--seed N] [--intervals N] [--sites N]\n"
       "                   [--links N] [--endpoints N] [--shards N]\n"
       "                   [--quiet-tail S] [--shard-crashes N]\n"
       "                   [--link-failures N] [--pull-drops N]\n"
       "                   [--stale-windows N] [--k N] [--log]\n"
+      "                   [--metrics-json FILE]\n"
       "KIND: b4 | deltacom | cogentco | twan; NAME: megate | lpall |\n"
-      "ncflow | teal\n";
+      "ncflow | teal\n"
+      "--metrics-json FILE writes the run's metrics as a validated\n"
+      "megate.metrics/1 JSON document (\"-\" = stdout).\n";
   return 2;
 }
 
@@ -90,6 +95,21 @@ double flag_double(const std::map<std::string, std::string>& flags,
                    const std::string& key, double fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+/// Writes `registry` as schema-validated metrics JSON when the command
+/// was given --metrics-json. Returns false only on a write failure.
+bool export_metrics(const std::map<std::string, std::string>& flags,
+                    const obs::MetricsRegistry& registry,
+                    const std::string& source) {
+  auto it = flags.find("metrics-json");
+  if (it == flags.end()) return true;
+  if (!obs::write_metrics_json(registry, source, it->second)) {
+    std::cerr << "error: failed to write metrics JSON to " << it->second
+              << "\n";
+    return false;
+  }
+  return true;
 }
 
 /// Loads via --topo (text or --gml) or generates via --kind.
@@ -169,9 +189,12 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   tm::TrafficMatrix traffic =
       tm::generate_traffic(*graph, layout, tmo, seed + 1);
 
+  obs::MetricsRegistry registry;
   std::unique_ptr<te::Solver> solver;
   if (solver_name == "megate") {
-    solver = std::make_unique<te::MegaTeSolver>();
+    te::MegaTeOptions mopt;
+    mopt.metrics = &registry;
+    solver = std::make_unique<te::MegaTeSolver>(mopt);
   } else if (solver_name == "lpall") {
     solver = std::make_unique<te::LpAllSolver>();
   } else if (solver_name == "ncflow") {
@@ -212,6 +235,17 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   if (!check.ok) {
     for (const auto& v : check.violations) std::cerr << "  " << v << "\n";
   }
+  // Headline numbers for every solver (the megate solver additionally
+  // filled in its stage spans/histograms during the solve).
+  registry.gauge("cli.solve.time_s").set(sol.solve_time_s);
+  registry.gauge("cli.solve.satisfied_ratio").set(sol.satisfied_ratio());
+  registry.gauge("cli.solve.max_link_utilization")
+      .set(check.max_link_utilization);
+  registry.gauge("cli.solve.flows")
+      .set(static_cast<double>(traffic.num_flows()));
+  registry.gauge("cli.solve.endpoints")
+      .set(static_cast<double>(layout.total_endpoints()));
+  if (!export_metrics(flags, registry, "megate_cli solve")) return 1;
   return check.ok ? 0 : 1;
 }
 
@@ -230,6 +264,15 @@ int cmd_sync(const std::map<std::string, std::string>& flags) {
              util::Table::num(bu.memory_gb, 1),
              util::Table::num(bu.db_shards)});
   t.print(std::cout);
+  obs::MetricsRegistry registry;
+  registry.gauge("cli.sync.endpoints").set(static_cast<double>(endpoints));
+  registry.gauge("cli.sync.top_down.cpu_cores").set(td.cpu_cores);
+  registry.gauge("cli.sync.top_down.memory_gb").set(td.memory_gb);
+  registry.gauge("cli.sync.bottom_up.cpu_cores").set(bu.cpu_cores);
+  registry.gauge("cli.sync.bottom_up.memory_gb").set(bu.memory_gb);
+  registry.gauge("cli.sync.bottom_up.db_shards")
+      .set(static_cast<double>(bu.db_shards));
+  if (!export_metrics(flags, registry, "megate_cli sync")) return 1;
   return 0;
 }
 
@@ -250,6 +293,8 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   opt.plan.stale_windows = flag_u64(flags, "stale-windows", 2);
   opt.convergence_intervals = flag_u64(flags, "k", 3);
 
+  obs::MetricsRegistry registry;
+  opt.metrics = &registry;
   const fault::ChaosReport report = fault::run_chaos(opt);
 
   if (flags.contains("log")) {
@@ -284,6 +329,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
              std::to_string(report.fingerprint)});
   t.print(std::cout);
   for (const auto& v : report.violations) std::cerr << "  " << v << "\n";
+  if (!export_metrics(flags, registry, "megate_cli chaos")) return 1;
   return report.ok() ? 0 : 1;
 }
 
