@@ -95,9 +95,12 @@ int main() {
     const te::TeSolution cold = cold_solver.solve(problem);
     const double tc = sw.elapsed_seconds();
     sw.reset();
-    const te::TeSolution inc = inc_solver.solve_incremental(problem);
+    te::SolveContext sctx;
+    sctx.incremental = true;
+    const te::SolveReport inc_report = inc_solver.solve(problem, sctx);
+    const te::TeSolution& inc = inc_report.solution;
     const double ti = sw.elapsed_seconds();
-    const te::IncrementalStats& st = inc_solver.last_incremental_stats();
+    const te::IncrementalStats& st = inc_report.incremental;
 
     // Sanity guard (full equivalence lives in tests/incremental_test.cpp).
     const double rel_gap =

@@ -53,15 +53,16 @@ int main() {
   problem.tunnels = &tunnels;
   problem.traffic = &traffic;
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(problem);
+  const te::SolveReport report = solver.solve(problem, te::SolveContext{});
+  const te::TeSolution& sol = report.solution;
 
   std::cout << "MegaTE satisfied "
             << util::Table::num(100.0 * sol.satisfied_ratio(), 1)
             << "% of demand in "
             << util::Table::num(sol.solve_time_s * 1e3, 1) << " ms (stage1 "
-            << util::Table::num(solver.last_stage1_seconds() * 1e3, 1)
+            << util::Table::num(report.stage1_seconds * 1e3, 1)
             << " ms LP, stage2 "
-            << util::Table::num(solver.last_stage2_seconds() * 1e3, 1)
+            << util::Table::num(report.stage2_seconds * 1e3, 1)
             << " ms FastSSP)\n";
 
   // 5. Validate against the paper's constraints (1a)-(1c).

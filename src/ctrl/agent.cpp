@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 namespace megate::ctrl {
 namespace {
@@ -17,37 +18,92 @@ double poll_phase(std::uint64_t instance_id, double spread) {
 
 }  // namespace
 
-EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
-                             dataplane::HostStack* stack,
+EndpointAgent::EndpointAgent(std::vector<std::uint64_t> instance_ids,
+                             KvStore* store, dataplane::HostStack* stack,
                              AgentOptions options)
-    : instance_id_(instance_id),
+    : ids_(std::move(instance_ids)),
       store_(store),
       stack_(stack),
-      options_(options),
-      next_poll_s_(poll_phase(instance_id,
-                              options.spread_interval_s > 0.0
-                                  ? options.spread_interval_s
-                                  : options.poll_interval_s)) {
+      options_(options) {
+  if (ids_.empty()) {
+    throw std::invalid_argument("agent needs at least one instance");
+  }
+  keys_.reserve(ids_.size());
+  for (std::uint64_t id : ids_) keys_.push_back(path_key(id));
+  routes_.resize(ids_.size());
+  next_poll_s_ = poll_phase(ids_.front(),
+                            options_.spread_interval_s > 0.0
+                                ? options_.spread_interval_s
+                                : options_.poll_interval_s);
   options_.retry_backoff_s = std::max(options_.retry_backoff_s, 1e-3);
   if (options_.metrics != nullptr) {
     // Histogram references are stable for the registry's lifetime, so the
     // hot pull path pays one relaxed-atomic observe, not a map lookup.
     pull_latency_ = &options_.metrics->histogram("ctrl.agent.pull.seconds");
+    pull_batch_size_ =
+        &options_.metrics->histogram("ctrl.agent.pull.batch_size");
   }
 }
 
+EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
+                             dataplane::HostStack* stack,
+                             AgentOptions options)
+    : EndpointAgent(std::vector<std::uint64_t>{instance_id}, store, stack,
+                    options) {}
+
+std::size_t EndpointAgent::index_of(std::uint64_t instance_id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == instance_id) return i;
+  }
+  throw std::out_of_range("instance not managed by this agent");
+}
+
+const std::vector<RouteEntry>& EndpointAgent::routes_for(
+    std::uint64_t instance_id) const {
+  return routes_[index_of(instance_id)];
+}
+
 const std::vector<std::uint32_t>& EndpointAgent::hops_for(
-    std::uint32_t dst_site) const {
+    std::uint64_t instance_id, std::uint32_t dst_site) const {
   static const std::vector<std::uint32_t> kEmpty;
   const RouteEntry* wildcard = nullptr;
-  for (const RouteEntry& r : routes_) {
+  for (const RouteEntry& r : routes_[index_of(instance_id)]) {
     if (r.dst_site == dst_site) return r.hops;
     if (r.dst_site == dataplane::kAnyDstSite) wildcard = &r;
   }
   return wildcard != nullptr ? wildcard->hops : kEmpty;
 }
 
-bool EndpointAgent::try_pull() {
+const std::vector<std::uint32_t>& EndpointAgent::hops_for(
+    std::uint32_t dst_site) const {
+  return hops_for(ids_.front(), dst_site);
+}
+
+void EndpointAgent::apply_entry(std::size_t idx, GetStatus status,
+                                const std::string& value) {
+  // kMiss clears the table: with delta publishing the controller erases
+  // an instance's entry when it loses all assigned flows, and the
+  // instance falls back to five-tuple hashing.
+  std::vector<RouteEntry> fresh =
+      status == GetStatus::kOk ? decode_routes(value)
+                               : std::vector<RouteEntry>{};
+  if (stack_ != nullptr) {
+    // Uninstall routes that disappeared, then install the new table.
+    for (const RouteEntry& old : routes_[idx]) {
+      const bool kept = std::any_of(
+          fresh.begin(), fresh.end(), [&](const RouteEntry& r) {
+            return r.dst_site == old.dst_site;
+          });
+      if (!kept) stack_->install_route(ids_[idx], old.dst_site, {});
+    }
+    for (const RouteEntry& r : fresh) {
+      stack_->install_route(ids_[idx], r.dst_site, r.hops);
+    }
+  }
+  routes_[idx] = std::move(fresh);
+}
+
+bool EndpointAgent::try_pull_batch() {
   const auto pull_start = std::chrono::steady_clock::now();
   const auto observe_latency = [&]() {
     if (pull_latency_ == nullptr) return;
@@ -55,40 +111,49 @@ bool EndpointAgent::try_pull() {
                                std::chrono::steady_clock::now() - pull_start)
                                .count());
   };
+  if (pull_batch_size_ != nullptr) {
+    pull_batch_size_->observe(static_cast<double>(keys_.size()));
+  }
   ControlCounters* c = options_.counters;
+  // One drop decision per pull attempt, keyed on the primary id — the
+  // whole batch travels (or is dropped) together, and batched/per-key
+  // modes consume the hook identically (fingerprint equivalence).
   if (options_.fault_hooks != nullptr &&
-      options_.fault_hooks->drop_pull(instance_id_)) {
+      options_.fault_hooks->drop_pull(ids_.front())) {
     if (c != nullptr) ++c->pull_drops;
     observe_latency();
     return false;
   }
-  std::string entry;
-  const GetStatus st = store_->try_get(path_key(instance_id_), &entry);
-  if (st == GetStatus::kUnavailable) {
+
+  // Fetch every entry first; apply only if all shards answered. Reading
+  // all keys (no early exit) keeps the database-side query accounting
+  // identical between the two modes.
+  std::vector<GetResult> results;
+  bool unavailable = false;
+  if (options_.batch_pull) {
+    MultiGetResult batch = store_->multi_get(keys_);
+    unavailable = !batch.all_available() || !batch.consistent;
+    results = std::move(batch.entries);
+  } else {
+    results.reserve(keys_.size());
+    for (const std::string& key : keys_) {
+      results.push_back(store_->try_get(key));
+      if (results.back().status == GetStatus::kUnavailable) {
+        unavailable = true;
+      }
+    }
+  }
+  if (unavailable) {
     if (c != nullptr) ++c->shard_unavailable;
     observe_latency();
     return false;
   }
-  if (st == GetStatus::kOk) {
-    // Uninstall routes that disappeared, then install the new table.
-    std::vector<RouteEntry> fresh = decode_routes(entry);
-    if (stack_ != nullptr) {
-      for (const RouteEntry& old : routes_) {
-        const bool kept = std::any_of(
-            fresh.begin(), fresh.end(), [&](const RouteEntry& r) {
-              return r.dst_site == old.dst_site;
-            });
-        if (!kept) stack_->install_route(instance_id_, old.dst_site, {});
-      }
-      for (const RouteEntry& r : fresh) {
-        stack_->install_route(instance_id_, r.dst_site, r.hops);
-      }
-    }
-    routes_ = std::move(fresh);
-    if (c != nullptr) ++c->pulls;
+  bool any_ok = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    apply_entry(i, results[i].status, results[i].value);
+    if (results[i].status == GetStatus::kOk) any_ok = true;
   }
-  // kMiss: no entry for this instance (no assigned flows) — a valid,
-  // applied state; the instance falls back to five-tuple hashing.
+  if (any_ok && c != nullptr) ++c->pulls;
   observe_latency();
   return true;
 }
@@ -102,10 +167,10 @@ void EndpointAgent::tick(double now_s) {
     const Version actual = store_->version();
     const Version v =
         options_.fault_hooks != nullptr
-            ? options_.fault_hooks->observed_version(instance_id_, actual)
+            ? options_.fault_hooks->observed_version(ids_.front(), actual)
             : actual;
     if (v != applied_) {
-      if (try_pull()) {
+      if (try_pull_batch()) {
         applied_ = v;
         last_apply_s_ = poll_time;
         failed_pulls_ = 0;
@@ -128,16 +193,27 @@ void EndpointAgent::tick(double now_s) {
   }
 }
 
-std::vector<double> measure_sync_lags(KvStore& store, std::size_t n_agents,
+std::vector<double> measure_sync_lags(KvStore& store,
+                                      std::size_t n_instances,
                                       const AgentOptions& options,
                                       double publish_at_s, double horizon_s,
-                                      double tick_step_s) {
+                                      double tick_step_s,
+                                      std::size_t instances_per_agent) {
+  instances_per_agent = std::max<std::size_t>(instances_per_agent, 1);
   std::vector<EndpointAgent> agents;
-  agents.reserve(n_agents);
+  agents.reserve((n_instances + instances_per_agent - 1) /
+                 instances_per_agent);
   std::vector<std::pair<std::string, std::string>> seed;
-  for (std::size_t i = 0; i < n_agents; ++i) {
+  for (std::size_t i = 0; i < n_instances; ++i) {
     seed.emplace_back(path_key(i), "*:1,2");
-    agents.emplace_back(i, &store, nullptr, options);
+  }
+  for (std::size_t i = 0; i < n_instances; i += instances_per_agent) {
+    std::vector<std::uint64_t> ids;
+    for (std::size_t j = i;
+         j < std::min(i + instances_per_agent, n_instances); ++j) {
+      ids.push_back(j);
+    }
+    agents.emplace_back(std::move(ids), &store, nullptr, options);
   }
 
   bool published = false;
@@ -150,11 +226,14 @@ std::vector<double> measure_sync_lags(KvStore& store, std::size_t n_agents,
   }
 
   std::vector<double> lags;
-  lags.reserve(n_agents);
+  lags.reserve(n_instances);
   const Version target = store.version();
   for (const auto& a : agents) {
     if (a.applied_version() == target && a.last_apply_time_s() >= 0.0) {
-      lags.push_back(a.last_apply_time_s() - publish_at_s);
+      // Every instance of the host applied together.
+      for (std::size_t i = 0; i < a.instance_ids().size(); ++i) {
+        lags.push_back(a.last_apply_time_s() - publish_at_s);
+      }
     }
   }
   return lags;

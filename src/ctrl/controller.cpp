@@ -1,5 +1,6 @@
 #include "megate/ctrl/controller.h"
 
+#include <algorithm>
 #include <charconv>
 #include <unordered_map>
 
@@ -76,6 +77,14 @@ std::vector<RouteEntry> decode_routes(const std::string& text) {
   return routes;
 }
 
+std::uint64_t Controller::full_table_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const auto& [instance, encoded] : live_) {
+    bytes += path_key(instance).size() + encoded.size();
+  }
+  return bytes;
+}
+
 Version Controller::publish_solution(const te::TeProblem& problem,
                                      const te::TeSolution& sol) {
   // Collect each source instance's route table: one entry per destination
@@ -110,18 +119,43 @@ Version Controller::publish_solution(const te::TeProblem& problem,
     }
   }
 
-  std::vector<std::pair<std::string, std::string>> batch;
-  batch.reserve(tables.size());
+  // Encode each instance's table canonically (sorted by destination
+  // site) so an unchanged table produces a byte-identical string and
+  // therefore no delta entry — unordered_map iteration order must not
+  // masquerade as churn.
+  std::unordered_map<std::uint64_t, std::string> fresh;
+  fresh.reserve(tables.size());
   for (const auto& [instance, by_site] : tables) {
     std::vector<RouteEntry> routes;
     routes.reserve(by_site.size());
     for (const auto& [site, picked] : by_site) {
       routes.push_back(picked.route);
     }
-    batch.emplace_back(path_key(instance), encode_routes(routes));
+    std::sort(routes.begin(), routes.end(),
+              [](const RouteEntry& a, const RouteEntry& b) {
+                return a.dst_site < b.dst_site;
+              });
+    fresh.emplace(instance, encode_routes(routes));
   }
-  published_ += batch.size();
-  return store_->publish(batch);
+
+  KvDelta delta;
+  for (const auto& [instance, encoded] : fresh) {
+    auto it = live_.find(instance);
+    if (it != live_.end() && it->second == encoded) continue;  // unchanged
+    delta.upserts.emplace_back(path_key(instance), encoded);
+  }
+  for (const auto& [instance, encoded] : live_) {
+    if (fresh.find(instance) == fresh.end()) {
+      delta.erases.push_back(path_key(instance));
+    }
+  }
+  last_upserts_ = delta.upserts.size();
+  last_erases_ = delta.erases.size();
+  last_bytes_ = delta.bytes();
+  published_ += delta.upserts.size();
+  erased_ += delta.erases.size();
+  live_ = std::move(fresh);
+  return store_->publish_delta(delta);
 }
 
 Version Controller::publish_path(std::uint64_t instance_id,
@@ -130,7 +164,13 @@ Version Controller::publish_path(std::uint64_t instance_id,
   RouteEntry r;
   r.dst_site = dataplane::kAnyDstSite;
   r.hops = hops;
-  return store_->publish({{path_key(instance_id), encode_routes({r})}});
+  KvDelta delta;
+  delta.upserts.emplace_back(path_key(instance_id), encode_routes({r}));
+  last_upserts_ = 1;
+  last_erases_ = 0;
+  last_bytes_ = delta.bytes();
+  live_[instance_id] = delta.upserts.front().second;
+  return store_->publish_delta(delta);
 }
 
 }  // namespace megate::ctrl

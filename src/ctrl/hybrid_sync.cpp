@@ -24,6 +24,10 @@ void export_plan_gauges(obs::MetricsRegistry& registry,
       .set(plan.mean_staleness_s);
   registry.gauge("ctrl.hybrid_sync.worst_staleness_s")
       .set(plan.worst_staleness_s);
+  registry.gauge("ctrl.hybrid_sync.db_queries_per_s")
+      .set(plan.db_queries_per_s);
+  registry.gauge("ctrl.hybrid_sync.db_shards")
+      .set(static_cast<double>(plan.resources.db_shards));
 }
 
 }  // namespace
@@ -37,6 +41,9 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
   }
   if (options.pull_drop_rate < 0.0 || options.pull_drop_rate >= 1.0) {
     throw std::invalid_argument("pull_drop_rate must be in [0, 1)");
+  }
+  if (options.pull_batch_size == 0) {
+    throw std::invalid_argument("pull_batch_size must be >= 1");
   }
   std::unique_ptr<obs::Span> span;
   if (options.metrics != nullptr) {
@@ -79,9 +86,16 @@ HybridSyncPlan plan_hybrid_sync(const tm::TrafficMatrix& traffic,
 
   // Controller resources: persistent connections cost what the pressure
   // test measured; the polling tail rides the flat bottom-up machinery.
+  // Batched pulls shrink the *querying* population — one host query per
+  // pull_batch_size instances — which sizes the database shard count.
   const std::uint64_t conns = plan.persistent_instances.size();
   const SyncResources pushed = model.top_down(conns);
-  const SyncResources pulled = model.bottom_up(plan.polling_instances);
+  const std::uint64_t polling_hosts =
+      (plan.polling_instances + options.pull_batch_size - 1) /
+      options.pull_batch_size;
+  const SyncResources pulled = model.bottom_up(polling_hosts);
+  plan.db_queries_per_s =
+      static_cast<double>(polling_hosts) / model.spread_interval_s;
   plan.resources.cpu_cores =
       (conns > 0 ? pushed.cpu_cores : 0.0) + pulled.cpu_cores;
   plan.resources.memory_gb =

@@ -2,20 +2,30 @@
 // The endpoint agent of the bottom-up control loop (§3.2, Fig. 4b).
 //
 // Each agent polls the TE database's version with a cheap short-lived
-// query; only when the version moved does it pull its own path entry and
-// install it into the host stack. To keep database load flat, the fleet is
-// divided over the spread interval (§3.2: "each part initiates queries
+// query; only when the version moved does it pull its route entries and
+// install them into the host stack. To keep database load flat, the fleet
+// is divided over the spread interval (§3.2: "each part initiates queries
 // asynchronously during a specific time period, e.g. 10 seconds") — an
 // agent's poll phase is a deterministic hash of its id.
 //
+// A host runs many instances (VMs/containers); one agent serves them all.
+// A pull fetches every instance's entry — either per key (try_get loop)
+// or, with AgentOptions::batch_pull, as one KvStore::multi_get returning
+// a single consistent (version, values) cut. Application is
+// all-or-nothing: if any entry's shard is down the whole pull fails and
+// every instance keeps its last-good table, so batched and per-key pulls
+// are behaviourally equivalent in the deterministic harness (the
+// batched-pull property suite asserts fingerprint equality).
+//
 // Failure behaviour (the eventual-consistency half of §3.2): when a pull
-// is dropped in flight or the key's shard is down, the agent keeps its
-// last-good route table — traffic keeps flowing on the previous config —
-// and retries after a short backoff instead of waiting a full poll
-// interval. After max_pull_retries consecutive failures it returns to the
-// normal poll cadence (the database will still be there next interval).
+// is dropped in flight or a shard is down, the agent keeps its last-good
+// route tables — traffic keeps flowing on the previous config — and
+// retries after a short backoff instead of waiting a full poll interval.
+// After max_pull_retries consecutive failures it returns to the normal
+// poll cadence (the database will still be there next interval).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "megate/ctrl/controller.h"
@@ -36,63 +46,99 @@ struct AgentOptions {
   std::uint32_t max_pull_retries = 3;
   /// Delay before a retry poll (must be > 0; clamped to 1 ms).
   double retry_backoff_s = 1.0;
+  /// Pull all instance entries in one KvStore::multi_get (one consistent
+  /// snapshot, one query round-trip) instead of a per-key try_get loop.
+  bool batch_pull = false;
   /// Failure-injection seams; null = production behaviour (no faults).
   FaultHooks* fault_hooks = nullptr;
   /// Shared health counters; null = don't count.
   ControlCounters* counters = nullptr;
   /// Observability registry; null = no spans/histograms. When set, each
   /// pull's wall-clock latency lands in the "ctrl.agent.pull.seconds"
-  /// histogram (shared across all agents bound to the registry).
+  /// histogram and each pull attempt's key count in
+  /// "ctrl.agent.pull.batch_size" (shared across all bound agents).
   obs::MetricsRegistry* metrics = nullptr;
 };
 
 class EndpointAgent {
  public:
+  /// Host agent serving `instance_ids` (must be non-empty; the first id
+  /// is the primary — it keys the poll phase and the fault hooks).
   /// `stack` may be null (pure control-plane simulations).
+  EndpointAgent(std::vector<std::uint64_t> instance_ids, KvStore* store,
+                dataplane::HostStack* stack, AgentOptions options = {});
+  /// Single-instance convenience (the common fleet-simulation shape).
   EndpointAgent(std::uint64_t instance_id, KvStore* store,
                 dataplane::HostStack* stack, AgentOptions options = {});
 
   /// Drives the agent to simulation time `now_s`; polls whenever due.
   void tick(double now_s);
 
-  std::uint64_t instance_id() const noexcept { return instance_id_; }
+  /// One pull attempt covering every instance: fetch all entries
+  /// (batched or per-key per AgentOptions::batch_pull), then apply
+  /// all-or-nothing. Returns false when the pull was dropped, any shard
+  /// was unavailable, or a batched read could not get a consistent cut —
+  /// every instance then keeps its last-good table.
+  bool try_pull_batch();
+
+  /// Primary instance id (first of instance_ids()).
+  std::uint64_t instance_id() const noexcept { return ids_.front(); }
+  const std::vector<std::uint64_t>& instance_ids() const noexcept {
+    return ids_;
+  }
   Version applied_version() const noexcept { return applied_; }
   /// Simulation time the latest config was applied (-1 if never).
   double last_apply_time_s() const noexcept { return last_apply_s_; }
-  /// The route table pulled from the TE database. During a pull failure
-  /// this is the last-good table, never a torn state.
-  const std::vector<RouteEntry>& routes() const noexcept { return routes_; }
-  /// Hops towards `dst_site` (exact match, then wildcard; empty if none).
+  /// The primary instance's route table. During a pull failure this is
+  /// the last-good table, never a torn state.
+  const std::vector<RouteEntry>& routes() const noexcept {
+    return routes_.front();
+  }
+  /// Route table of one managed instance (throws if not managed).
+  const std::vector<RouteEntry>& routes_for(std::uint64_t instance_id) const;
+  /// Hops towards `dst_site` for the primary instance (exact match, then
+  /// wildcard; empty if none).
   const std::vector<std::uint32_t>& hops_for(std::uint32_t dst_site) const;
+  /// Hops towards `dst_site` for one managed instance.
+  const std::vector<std::uint32_t>& hops_for(std::uint64_t instance_id,
+                                             std::uint32_t dst_site) const;
   std::uint64_t polls() const noexcept { return polls_; }
   /// Consecutive failed pulls since the last success (0 when healthy).
   std::uint32_t failed_pulls() const noexcept { return failed_pulls_; }
 
  private:
-  /// Attempts one pull of this agent's route entry; returns false when the
-  /// pull was dropped or the shard was unavailable.
-  bool try_pull();
+  std::size_t index_of(std::uint64_t instance_id) const;
+  /// Installs one instance's freshly pulled entry (kOk) or clears its
+  /// table (kMiss: the controller erased the entry — no assigned flows).
+  void apply_entry(std::size_t idx, GetStatus status,
+                   const std::string& value);
 
-  std::uint64_t instance_id_;
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::string> keys_;  ///< path_key(ids_[i]), precomputed
   KvStore* store_;
   dataplane::HostStack* stack_;
   AgentOptions options_;
   double next_poll_s_;
   Version applied_ = 0;
   double last_apply_s_ = -1.0;
-  std::vector<RouteEntry> routes_;
+  std::vector<std::vector<RouteEntry>> routes_;  ///< parallel to ids_
   std::uint64_t polls_ = 0;
   std::uint32_t failed_pulls_ = 0;
   obs::Histogram* pull_latency_ = nullptr;  ///< stable registry reference
+  obs::Histogram* pull_batch_size_ = nullptr;
 };
 
-/// Convergence experiment: `n_agents` agents polling `store`; a publish
-/// happens at `publish_at_s`; returns each agent's apply lag (seconds
-/// after the publish). The maximum is the eventual-consistency window the
-/// paper's §8 discussion quotes ("several seconds").
-std::vector<double> measure_sync_lags(KvStore& store, std::size_t n_agents,
+/// Convergence experiment: agents polling `store`, each serving
+/// `instances_per_agent` consecutive instance ids out of `n_instances`;
+/// a publish of all entries happens at `publish_at_s`; returns each
+/// *instance's* apply lag (seconds after the publish). The maximum is
+/// the eventual-consistency window the paper's §8 discussion quotes
+/// ("several seconds").
+std::vector<double> measure_sync_lags(KvStore& store,
+                                      std::size_t n_instances,
                                       const AgentOptions& options,
-                                      double publish_at_s,
-                                      double horizon_s, double tick_step_s);
+                                      double publish_at_s, double horizon_s,
+                                      double tick_step_s,
+                                      std::size_t instances_per_agent = 1);
 
 }  // namespace megate::ctrl

@@ -3,9 +3,15 @@
 // entries in the TE database (§3.2, Fig. 4b). There are no persistent
 // connections to endpoints — publishing is one batched database write
 // plus a version bump; endpoints pull asynchronously.
+//
+// Publishing is differential: the controller remembers the encoded table
+// it last wrote per instance and publishes only the entries that changed
+// (upserts) or disappeared (erases), so a publish costs O(churn) while
+// the store's structural sharing keeps the unchanged majority alive.
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "megate/ctrl/kvstore.h"
@@ -37,10 +43,10 @@ class Controller {
  public:
   explicit Controller(KvStore* store) : store_(store) {}
 
-  /// Publishes the per-source-instance route tables of `sol`: for every
-  /// assigned endpoint flow, the source instance's table gains an entry
-  /// (destination site -> tunnel hop sequence). Returns the new config
-  /// version. Unassigned flows get no entry (fall back to hashing).
+  /// Publishes the per-source-instance route tables of `sol` as a delta
+  /// against the previous publish: changed tables become upserts,
+  /// instances that lost every assigned flow become erases (their agents
+  /// fall back to hashing). Returns the new config version.
   Version publish_solution(const te::TeProblem& problem,
                            const te::TeSolution& sol);
 
@@ -49,11 +55,34 @@ class Controller {
   Version publish_path(std::uint64_t instance_id,
                        const std::vector<std::uint32_t>& hops);
 
+  /// Entries written (upserted) across all publishes.
   std::uint64_t entries_published() const noexcept { return published_; }
+  /// Entries erased across all publishes (instances dropped from the TE
+  /// solution).
+  std::uint64_t entries_erased() const noexcept { return erased_; }
+  /// Upserts / erases / payload bytes of the most recent publish — what
+  /// the delta actually wrote.
+  std::uint64_t last_publish_upserts() const noexcept {
+    return last_upserts_;
+  }
+  std::uint64_t last_publish_erases() const noexcept {
+    return last_erases_;
+  }
+  std::uint64_t last_publish_bytes() const noexcept { return last_bytes_; }
+  /// Payload bytes a non-differential full publish of the current table
+  /// would have written (the delta-vs-full comparison baseline).
+  std::uint64_t full_table_bytes() const noexcept;
 
  private:
   KvStore* store_;
   std::uint64_t published_ = 0;
+  std::uint64_t erased_ = 0;
+  std::uint64_t last_upserts_ = 0;
+  std::uint64_t last_erases_ = 0;
+  std::uint64_t last_bytes_ = 0;
+  /// Encoded table last written per instance; the delta baseline. The
+  /// controller assumes exclusive ownership of the path/<id> keyspace.
+  std::unordered_map<std::uint64_t, std::string> live_;
 };
 
 }  // namespace megate::ctrl

@@ -37,6 +37,11 @@ struct HybridSyncOptions {
   /// number of attempts is 1/(1-p) and the polling tail's staleness
   /// stretches by that factor. Must be in [0, 1).
   double pull_drop_rate = 0.0;
+  /// Instances served per batched pull (>= 1): one host agent fetches
+  /// all of its instances' entries in a single multi_get, dividing the
+  /// database's query load (and hence its shard count) by this factor.
+  /// Staleness is unchanged — batching alters who asks, not how often.
+  std::uint64_t pull_batch_size = 1;
   /// Observability registry; null = no spans/gauges. Planning time lands
   /// in the "ctrl.hybrid_sync.plan" span and the plan's headline numbers
   /// (persistent/polling split, coverage, staleness) in gauges.
@@ -52,6 +57,9 @@ struct HybridSyncPlan {
   /// Controller-side resources: persistent connections at the measured
   /// per-connection cost, plus the flat bottom-up core for the rest.
   SyncResources resources;
+  /// TE-database query rate of the polling tail after batching (polling
+  /// hosts spread over the model's spread interval).
+  double db_queries_per_s = 0.0;
   /// Traffic-weighted mean config staleness after an urgent update.
   double mean_staleness_s = 0.0;
   /// Staleness of the slowest (pure-polling) traffic.

@@ -28,7 +28,7 @@ namespace megate::ctrl {
 /// chaos` surface them next to the availability numbers.
 ///
 /// The incremental_* group aggregates te::IncrementalStats across every
-/// solve_incremental call of a run (ChaosOptions::incremental_solve):
+/// incremental solve of a run (ChaosOptions::incremental_solve):
 /// stage-2 memo hits, pairs the demand delta marked dirty, stage-1 LPs
 /// resolved from a warm basis with zero pivots, and full cache drops
 /// forced by topology changes (every fault event lands here — see
@@ -42,7 +42,10 @@ struct ControlCounters {
   std::uint64_t stale_version_reads = 0;  ///< version queries served stale
   std::uint64_t fallbacks_last_good = 0;  ///< kept last-good routes on error
   std::uint64_t publishes = 0;            ///< controller config publishes
-  std::uint64_t incremental_solves = 0;   ///< solve_incremental calls
+  std::uint64_t publish_upserts = 0;      ///< delta entries written
+  std::uint64_t publish_erases = 0;       ///< delta entries erased
+  std::uint64_t publish_delta_bytes = 0;  ///< delta payload bytes written
+  std::uint64_t incremental_solves = 0;   ///< incremental solve calls
   std::uint64_t incremental_cache_hits = 0;    ///< stage-2 memo replays
   std::uint64_t incremental_cache_misses = 0;  ///< stage-2 recomputes
   std::uint64_t incremental_dirty_pairs = 0;   ///< pairs with changed demand

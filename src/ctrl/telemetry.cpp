@@ -49,6 +49,9 @@ constexpr CounterField kCounterFields[] = {
     {"stale_version_reads", &ControlCounters::stale_version_reads},
     {"fallbacks_last_good", &ControlCounters::fallbacks_last_good},
     {"publishes", &ControlCounters::publishes},
+    {"publish_upserts", &ControlCounters::publish_upserts},
+    {"publish_erases", &ControlCounters::publish_erases},
+    {"publish_delta_bytes", &ControlCounters::publish_delta_bytes},
     {"incremental_solves", &ControlCounters::incremental_solves},
     {"incremental_cache_hits", &ControlCounters::incremental_cache_hits},
     {"incremental_cache_misses", &ControlCounters::incremental_cache_misses},

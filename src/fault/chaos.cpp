@@ -51,7 +51,7 @@ double installed_utilization(
     for (const tm::EndpointDemand& f : flows) {
       auto it = agents.find(f.src);
       if (it == agents.end()) continue;
-      const auto& hops = it->second->hops_for(pair.dst);
+      const auto& hops = it->second->hops_for(f.src, pair.dst);
       if (hops.empty()) continue;  // unassigned: falls back to hashing
       // Walk src site -> hops[0] -> ... resolving each step to an up link.
       std::vector<topo::EdgeId> path;
@@ -155,16 +155,29 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   aopt.poll_interval_s = options.poll_interval_s;
   aopt.max_pull_retries = options.max_pull_retries;
   aopt.retry_backoff_s = options.retry_backoff_s;
+  aopt.batch_pull = options.batch_pull;
   aopt.fault_hooks = &injector;
   aopt.counters = &report.counters;
   aopt.metrics = reg;
+  // Hosts serve consecutive chunks of the id-sorted instance list; with
+  // instances_per_agent == 1 this degenerates to one agent per instance
+  // (the original fleet shape, preserved for the golden fingerprints).
+  const std::size_t per_agent =
+      std::max<std::size_t>(options.instances_per_agent, 1);
   std::vector<ctrl::EndpointAgent> agents;
-  agents.reserve(instance_ids.size());
+  agents.reserve((instance_ids.size() + per_agent - 1) / per_agent);
   std::unordered_map<std::uint64_t, const ctrl::EndpointAgent*> by_id;
-  for (std::uint64_t id : instance_ids) {
-    agents.emplace_back(id, &kv, nullptr, aopt);
+  for (std::size_t i = 0; i < instance_ids.size(); i += per_agent) {
+    std::vector<std::uint64_t> ids(
+        instance_ids.begin() + static_cast<std::ptrdiff_t>(i),
+        instance_ids.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(i + per_agent,
+                                            instance_ids.size())));
+    agents.emplace_back(std::move(ids), &kv, nullptr, aopt);
   }
-  for (const auto& a : agents) by_id[a.instance_id()] = &a;
+  for (const auto& a : agents) {
+    for (std::uint64_t id : a.instance_ids()) by_id[id] = &a;
+  }
 
   te::MegaTeOptions sopt;
   sopt.metrics = reg;
@@ -185,11 +198,12 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     problem.graph = &solver_graph;
     problem.tunnels = &repaired;
     problem.traffic = &traffic;
-    const te::TeSolution sol = options.incremental_solve
-                                   ? solver.solve_incremental(problem)
-                                   : solver.solve(problem);
+    te::SolveContext sctx;
+    sctx.incremental = options.incremental_solve;
+    const te::SolveReport solved = solver.solve(problem, sctx);
+    const te::TeSolution& sol = solved.solution;
     if (options.incremental_solve) {
-      const te::IncrementalStats& is = solver.last_incremental_stats();
+      const te::IncrementalStats& is = solved.incremental;
       ++report.counters.incremental_solves;
       report.counters.incremental_cache_hits += is.ssp_cache_hits;
       report.counters.incremental_cache_misses += is.ssp_cache_misses;
@@ -206,6 +220,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     }
     controller.publish_solution(problem, sol);
     ++report.counters.publishes;
+    report.counters.publish_upserts += controller.last_publish_upserts();
+    report.counters.publish_erases += controller.last_publish_erases();
+    report.counters.publish_delta_bytes += controller.last_publish_bytes();
     ++stats.resolves;
     last_satisfied = sol.satisfied_ratio();
     last_solution_util = check.max_link_utilization;
@@ -307,12 +324,15 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   report.event_log = injector.event_log();
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const std::string& line : report.event_log) h = fnv1a(h, line);
+  // Per *instance*, in id order — with one instance per agent this is
+  // the original byte stream, so existing golden fingerprints hold.
   for (const auto& a : agents) {
-    const std::uint64_t id = a.instance_id();
     const ctrl::Version v = a.applied_version();
-    h = fnv1a(h, &id, sizeof(id));
-    h = fnv1a(h, &v, sizeof(v));
-    h = fnv1a(h, ctrl::encode_routes(a.routes()));
+    for (const std::uint64_t id : a.instance_ids()) {
+      h = fnv1a(h, &id, sizeof(id));
+      h = fnv1a(h, &v, sizeof(v));
+      h = fnv1a(h, ctrl::encode_routes(a.routes_for(id)));
+    }
   }
   h = fnv1a(h, &report.final_version, sizeof(report.final_version));
   for (const std::string& v : report.violations) h = fnv1a(h, v);
@@ -339,7 +359,16 @@ ChaosReport run_chaos(const ChaosOptions& options) {
       freeze("kv.shard" + std::to_string(i) + ".queries",
              kv.shard_query_count(i));
     }
+    freeze("kv.snapshot.installs", kv.snapshot_installs());
+    freeze("kv.snapshot.rebuilds", kv.snapshot_rebuilds());
+    freeze("kv.delta_bytes", kv.delta_bytes());
+    freeze("kv.delta_keys", kv.delta_keys());
+    freeze("kv.multi_gets", kv.multi_get_count());
+    freeze("kv.multi_get.retries", kv.multi_get_retries());
+    freeze("kv.redo.buffered", kv.redo_buffered());
+    freeze("kv.redo.replayed", kv.redo_replayed());
     reg->gauge("kv.keys").set(static_cast<double>(kv.size()));
+    reg->gauge("kv.bytes").set(static_cast<double>(kv.payload_bytes()));
     reg->counter("chaos.violations").inc(report.violations.size());
     reg->counter("chaos.fault_events").inc(report.event_log.size());
     reg->gauge("chaos.converged_within_k")

@@ -54,13 +54,23 @@ struct ChaosOptions {
   double poll_interval_s = 5.0;
   std::uint32_t max_pull_retries = 3;
   double retry_backoff_s = 1.0;
+  /// Instances per host agent (>= 1): agents serve consecutive chunks of
+  /// the id-sorted instance list, modelling hosts that run many
+  /// VMs/containers behind one agent.
+  std::size_t instances_per_agent = 1;
+  /// Pull each host's entries as one KvStore::multi_get (consistent
+  /// batched pull) instead of per-key reads. Off by default so the
+  /// per-key golden fingerprints keep covering the original path; the
+  /// batched-pull property suite asserts the two modes fingerprint
+  /// identically under every fault plan.
+  bool batch_pull = false;
 
   // --- faults -------------------------------------------------------------
   /// plan.horizon_s <= 0 auto-sizes to intervals * interval_s.
   FaultPlanOptions plan;
   /// Recompute + publish immediately on a mid-interval topology change.
   bool react_to_failures = true;
-  /// Solve with MegaTeSolver::solve_incremental instead of cold solves.
+  /// Solve incrementally (te::SolveContext::incremental) instead of cold.
   /// Off by default so the golden report fingerprints of the seed test
   /// suite keep covering the cold path; the incremental path asserts the
   /// same fingerprints (see fault tests) since every fault event

@@ -52,8 +52,8 @@ struct PeriodSimOptions {
   double ewma_alpha = 0.4;
   /// Mid-simulation link failures (empty = the classic fault-free run).
   std::vector<PeriodLinkFault> link_faults;
-  /// Solve each period with MegaTeSolver::solve_incremental instead of a
-  /// cold solve. Allocations stay equivalent (tests/incremental_test.cpp);
+  /// Solve each period incrementally (SolveContext::incremental) instead
+  /// of cold. Allocations stay equivalent (tests/incremental_test.cpp);
   /// the per-period cache/warm-start telemetry lands in
   /// PeriodOutcome::incremental. Link faults invalidate the retained
   /// state via the solver's topology fingerprint.
@@ -66,7 +66,7 @@ struct PeriodOutcome {
   double carried_gbps = 0.0;
   double prediction_mape = 0.0;  ///< 0 for kOracle
   double solve_time_s = 0.0;
-  /// Solver telemetry of this period's solve_incremental call;
+  /// Solver telemetry of this period's incremental solve;
   /// default-initialized when PeriodSimOptions::incremental is off.
   te::IncrementalStats incremental;
 

@@ -163,16 +163,17 @@ std::vector<PeriodOutcome> run_period_simulation_with_faults(
     problem.graph = &graph;
     problem.tunnels = period_tunnels;
     problem.traffic = &believed;
-    const te::TeSolution sol = options.incremental
-                                   ? solver.solve_incremental(problem)
-                                   : solver.solve(problem);
+    te::SolveContext sctx;
+    sctx.incremental = options.incremental;
+    const te::SolveReport solved = solver.solve(problem, sctx);
+    const te::TeSolution& sol = solved.solution;
 
     // Realized carriage against the actual traffic.
     const auto reserved = reservations(believed, sol);
     PeriodOutcome out;
     out.period = period;
     out.solve_time_s = sol.solve_time_s;
-    if (options.incremental) out.incremental = solver.last_incremental_stats();
+    if (options.incremental) out.incremental = solved.incremental;
     std::unordered_map<FlowKey, double, FlowKeyHash> budget = reserved;
     for (const auto& [pair, flows] : actual.pairs()) {
       for (const tm::EndpointDemand& f : flows) {

@@ -66,7 +66,7 @@ struct MegaTeOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Telemetry of the last solve_incremental call.
+/// Telemetry of one incremental solve (SolveReport::incremental).
 struct IncrementalStats {
   /// False when the call ran as a cold solve (first interval, explicit
   /// reset, or a topology change that dropped the retained state).
@@ -81,28 +81,60 @@ struct IncrementalStats {
   std::size_t lp_iterations = 0;      ///< total simplex pivots this solve
 };
 
+/// How one solve call should run. Passed by value next to the problem so
+/// the mode travels with the call, not with solver state.
+struct SolveContext {
+  /// Reuse state retained from the previous interval (demand-delta
+  /// classification, stage-2 memo, stage-1 warm bases) where the inputs
+  /// are bitwise unchanged. Identical feasible output to a cold solve
+  /// (same check_solution guarantees; enforced by
+  /// tests/incremental_test.cpp); falls back to a cold solve — never to
+  /// a wrong answer — whenever the topology fingerprint moved or a
+  /// cached key mismatches.
+  bool incremental = false;
+  /// Previous interval's problem; only needed to seed the demand delta
+  /// when this solver has no retained state yet (e.g. the previous
+  /// interval was solved elsewhere). Ignored for cold solves.
+  const TeProblem* prev = nullptr;
+};
+
+/// Solution plus the stats and timings of the call that produced it —
+/// one value instead of getter state mutated behind the caller's back.
+struct SolveReport {
+  TeSolution solution;
+  /// Wall-clock split of this solve, for the Fig. 9 discussion.
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+  /// Telemetry of the incremental machinery (default-initialized when
+  /// the call ran cold).
+  IncrementalStats incremental;
+};
+
 class MegaTeSolver final : public Solver {
  public:
   explicit MegaTeSolver(MegaTeOptions options = {})
       : options_(options) {}
 
   std::string name() const override { return "MegaTE"; }
+
+  /// Base-interface shim (baselines, PeriodSim's Solver* callers): a
+  /// cold solve returning the solution only.
   TeSolution solve(const TeProblem& problem) override;
 
-  /// Incremental variant of solve(): identical feasible output (same
-  /// check_solution guarantees; per-QoS satisfied demand matches the cold
-  /// solve — enforced by tests/incremental_test.cpp), but reuses state
-  /// retained from the previous interval where the inputs are bitwise
-  /// unchanged. `prev` optionally names the previous interval's problem;
-  /// it is only needed to seed the demand delta when this solver has no
-  /// retained state yet (e.g. the previous interval was solved elsewhere).
-  /// Falls back to a cold solve — never to a wrong answer — whenever the
-  /// topology fingerprint moved or a cached key mismatches.
+  /// The one solve entry point: runs cold or incremental per `ctx` and
+  /// returns the solution together with its stats/timings. No default
+  /// argument on `ctx` — it would make one-argument calls ambiguous
+  /// with the Solver::solve override above; pass `{}` for a cold solve.
+  SolveReport solve(const TeProblem& problem, const SolveContext& ctx);
+
+  /// Deprecated spelling of solve(problem, {.incremental = true,
+  /// .prev = prev}).solution; migrate to the SolveReport overload.
+  [[deprecated("use solve(problem, SolveContext{.incremental = true})")]]
   TeSolution solve_incremental(const TeProblem& problem,
                                const TeProblem* prev = nullptr);
 
-  /// Drops all state retained for solve_incremental (memo, warm bases,
-  /// fingerprints). The next solve_incremental call runs cold.
+  /// Drops all state retained for incremental solves (memo, warm bases,
+  /// fingerprints). The next incremental solve runs cold.
   void reset_incremental();
 
   /// Replaces the solver options. Drops incremental state (options change
@@ -113,15 +145,6 @@ class MegaTeSolver final : public Solver {
   /// The solver's worker pool, created lazily on first use and reused
   /// across solves (rebuilt only when set_options changes `threads`).
   util::ThreadPool& thread_pool();
-
-  /// Wall-clock split of the last solve, for the Fig. 9 discussion.
-  double last_stage1_seconds() const noexcept { return stage1_s_; }
-  double last_stage2_seconds() const noexcept { return stage2_s_; }
-
-  /// Telemetry of the last solve_incremental call (reset each call).
-  const IncrementalStats& last_incremental_stats() const noexcept {
-    return inc_stats_;
-  }
 
  private:
   /// State retained between solve_incremental calls.
@@ -134,6 +157,8 @@ class MegaTeSolver final : public Solver {
   };
 
   TeSolution solve_impl(const TeProblem& problem, bool incremental);
+  TeSolution solve_incremental_impl(const TeProblem& problem,
+                                    const TeProblem* prev);
 
   MegaTeOptions options_;
   double stage1_s_ = 0.0;

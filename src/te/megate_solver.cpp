@@ -186,11 +186,32 @@ void MegaTeSolver::set_options(const MegaTeOptions& options) {
 void MegaTeSolver::reset_incremental() { inc_state_ = IncrementalState{}; }
 
 TeSolution MegaTeSolver::solve(const TeProblem& problem) {
+  inc_stats_ = IncrementalStats{};
   return solve_impl(problem, false);
+}
+
+SolveReport MegaTeSolver::solve(const TeProblem& problem,
+                                const SolveContext& ctx) {
+  SolveReport report;
+  if (ctx.incremental) {
+    report.solution = solve_incremental_impl(problem, ctx.prev);
+  } else {
+    inc_stats_ = IncrementalStats{};
+    report.solution = solve_impl(problem, false);
+  }
+  report.stage1_seconds = stage1_s_;
+  report.stage2_seconds = stage2_s_;
+  report.incremental = inc_stats_;
+  return report;
 }
 
 TeSolution MegaTeSolver::solve_incremental(const TeProblem& problem,
                                            const TeProblem* prev) {
+  return solve_incremental_impl(problem, prev);
+}
+
+TeSolution MegaTeSolver::solve_incremental_impl(const TeProblem& problem,
+                                                const TeProblem* prev) {
   if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
   inc_stats_ = IncrementalStats{};
 

@@ -1,0 +1,99 @@
+#include "megate/util/epoch.h"
+
+#include <limits>
+
+namespace megate::util {
+namespace {
+
+/// Spreads threads over the slot array so probe sequences rarely collide.
+std::size_t thread_probe_start() {
+  static std::atomic<std::size_t> counter{0};
+  return (counter.fetch_add(1, std::memory_order_relaxed) * 7) %
+         EpochDomain::kMaxReaders;
+}
+
+}  // namespace
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::Slot* EpochDomain::claim_slot() {
+  static thread_local std::size_t hint = thread_probe_start();
+  for (;;) {
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      Slot& s = slots_[(hint + i) % kMaxReaders];
+      bool expected = false;
+      if (!s.claimed.load(std::memory_order_relaxed) &&
+          s.claimed.compare_exchange_strong(expected, true,
+                                            std::memory_order_acquire)) {
+        hint = (hint + i) % kMaxReaders;
+        return &s;
+      }
+    }
+    // All kMaxReaders slots pinned at once: wait for one to free. Guards
+    // span a few loads, so a full sweep coming up empty is momentary.
+  }
+}
+
+EpochGuard::EpochGuard(EpochDomain& domain) : slot_(domain.claim_slot()) {
+  std::uint64_t e = domain.epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t check = domain.epoch_.load(std::memory_order_seq_cst);
+    if (check == e) break;
+    // A writer bumped the epoch between our load and the slot store — it
+    // may have scanned the slots before our pin was visible. Re-pin at
+    // the newer epoch; the writer's retirement tag exceeds nothing we
+    // will dereference.
+    e = check;
+  }
+}
+
+EpochGuard::~EpochGuard() {
+  slot_->epoch.store(0, std::memory_order_seq_cst);
+  slot_->claimed.store(false, std::memory_order_release);
+}
+
+std::uint64_t EpochDomain::min_pinned_epoch() const {
+  std::uint64_t min_pinned = std::numeric_limits<std::uint64_t>::max();
+  for (const Slot& s : slots_) {
+    if (!s.claimed.load(std::memory_order_seq_cst)) continue;
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    // e == 0: mid-pin, holds no pointer yet (see header proof) — skip.
+    if (e != 0 && e < min_pinned) min_pinned = e;
+  }
+  return min_pinned;
+}
+
+void EpochDomain::reclaim_locked(std::uint64_t min_pinned) {
+  std::size_t freed = 0;
+  while (freed < retired_.size() && retired_[freed].first <= min_pinned) {
+    ++freed;
+  }
+  if (freed == 0) return;
+  retired_.erase(retired_.begin(),
+                 retired_.begin() + static_cast<std::ptrdiff_t>(freed));
+  reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+}
+
+void EpochDomain::retire(std::shared_ptr<const void> retired) {
+  std::lock_guard lock(retire_mu_);
+  const std::uint64_t tag =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (retired != nullptr) retired_.emplace_back(tag, std::move(retired));
+  reclaim_locked(min_pinned_epoch());
+}
+
+void EpochDomain::try_reclaim() {
+  std::lock_guard lock(retire_mu_);
+  reclaim_locked(min_pinned_epoch());
+}
+
+std::size_t EpochDomain::pending() const {
+  std::lock_guard lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace megate::util

@@ -1,0 +1,115 @@
+#pragma once
+// Epoch-based reclamation (EBR) for read-mostly snapshot pointers — the
+// RCU-style machinery behind the lock-free TE-database read path
+// (ctrl::KvStore). Writers replace an atomic pointer to an immutable
+// snapshot, then hand the old snapshot to the domain; the domain frees it
+// only once every reader that could still hold the raw pointer has moved
+// on.
+//
+// Protocol (all epoch/slot accesses seq_cst):
+//   reader  pin:   claim a slot; e = global epoch; slot.epoch = e;
+//                  re-read the global epoch and retry the store until it
+//                  matches (closes the race with a concurrent writer that
+//                  scanned the slots before the store became visible);
+//                  only then load and dereference protected pointers.
+//   reader  unpin: slot.epoch = 0; release the slot.
+//   writer:        store the new pointer, then retire(old): bump the
+//                  global epoch to E and tag `old` with E; free every
+//                  retired object whose tag <= min pinned epoch.
+//
+// Safety: a reader pinned at epoch < E began before the bump and may hold
+// the old pointer — its pin blocks reclamation (tag E > its epoch). A
+// reader pinned at >= E performed its epoch load after the bump, hence
+// after the pointer replacement (single total order of seq_cst ops), so
+// it can only observe the new pointer. A claimed slot whose epoch is
+// still 0 is mid-pin and holds nothing yet; its re-check loop forces a
+// re-pin at the bumped epoch before any dereference.
+//
+// Retired objects are owned as type-erased shared_ptr<const void>, so a
+// domain can outlive the stores that feed it and "free" composes with
+// structural sharing (buckets shared by consecutive snapshots die only
+// when their last snapshot does).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace megate::util {
+
+class EpochGuard;
+
+class EpochDomain {
+ public:
+  /// Upper bound on concurrently *pinned* readers (not threads — slots
+  /// are claimed per pin). Excess pins spin until a slot frees; guards
+  /// span only a handful of loads, so this never lasts.
+  static constexpr std::size_t kMaxReaders = 256;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Hands an unlinked object to the domain *after* its replacement was
+  /// made visible (e.g. via a seq_cst store of the new pointer). Bumps
+  /// the global epoch and reclaims every retired object no pinned reader
+  /// can still hold. Null is allowed (pure epoch bump + reclaim pass).
+  void retire(std::shared_ptr<const void> retired);
+
+  /// Frees whatever the currently pinned readers allow; useful in tests
+  /// and benchmarks to drain the backlog without retiring anything new.
+  void try_reclaim();
+
+  /// Retired objects not yet reclaimed.
+  std::size_t pending() const;
+  /// Total objects reclaimed since construction.
+  std::uint64_t reclaimed() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Process-wide domain shared by all KvStore shards.
+  static EpochDomain& global();
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  ///< 0 = claimed but not pinned
+    std::atomic<bool> claimed{false};
+  };
+
+  Slot* claim_slot();
+  std::uint64_t min_pinned_epoch() const;
+  void reclaim_locked(std::uint64_t min_pinned);
+
+  std::atomic<std::uint64_t> epoch_{1};
+  Slot slots_[kMaxReaders];
+  mutable std::mutex retire_mu_;
+  /// (epoch tag, object) pairs awaiting reclamation, tag-ascending.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const void>>>
+      retired_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII read-side pin. While alive, any pointer published before the pin
+/// (and retired after it) stays valid. Guards must not be held across
+/// blocking operations — they stall reclamation, never correctness.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain);
+  ~EpochGuard();
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain::Slot* slot_;
+};
+
+}  // namespace megate::util

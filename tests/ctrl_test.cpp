@@ -24,10 +24,12 @@ namespace {
 TEST(KvStore, PutGetErase) {
   KvStore kv(2);
   kv.put("a", "1");
-  EXPECT_EQ(kv.get("a"), "1");
-  EXPECT_EQ(kv.get("missing"), std::nullopt);
+  const GetResult hit = kv.try_get("a");
+  EXPECT_EQ(hit.status, GetStatus::kOk);
+  EXPECT_EQ(hit.value, "1");
+  EXPECT_EQ(kv.try_get("missing").status, GetStatus::kMiss);
   kv.put("a", "2");
-  EXPECT_EQ(kv.get("a"), "2");
+  EXPECT_EQ(kv.try_get("a").value, "2");
   EXPECT_TRUE(kv.erase("a"));
   EXPECT_FALSE(kv.erase("a"));
   EXPECT_EQ(kv.size(), 0u);
@@ -39,11 +41,13 @@ TEST(KvStore, PublishBumpsVersionAtomically) {
   const Version v1 = kv.publish({{"x", "1"}, {"y", "2"}});
   EXPECT_EQ(v1, 1u);
   EXPECT_EQ(kv.version(), 1u);
-  EXPECT_EQ(kv.get("x"), "1");
+  EXPECT_EQ(kv.try_get("x").value, "1");
+  // The GetResult's version stamps the snapshot the read observed.
+  EXPECT_GE(kv.try_get("x").version, v1);
   const Version v2 = kv.publish({{"x", "3"}});
   EXPECT_EQ(v2, 2u);
-  EXPECT_EQ(kv.get("x"), "3");
-  EXPECT_EQ(kv.get("y"), "2");
+  EXPECT_EQ(kv.try_get("x").value, "3");
+  EXPECT_EQ(kv.try_get("y").value, "2");
 }
 
 TEST(KvStore, RejectsZeroShards) {
@@ -54,9 +58,9 @@ TEST(KvStore, CountsQueries) {
   KvStore kv(2);
   kv.put("k", "v");
   const auto before = kv.query_count();
-  kv.get("k");
-  kv.get("k");
-  kv.get("nope");
+  (void)kv.try_get("k");
+  (void)kv.try_get("k");
+  (void)kv.try_get("nope");
   EXPECT_EQ(kv.query_count(), before + 3);
 }
 
@@ -73,7 +77,7 @@ TEST(KvStore, ConcurrentReadersAndWriters) {
     threads.emplace_back([&kv, w] {
       for (int i = 0; i < 500; ++i) {
         kv.put("k" + std::to_string(w) + "/" + std::to_string(i), "v");
-        kv.get("k0/" + std::to_string(i % 100));
+        (void)kv.try_get("k0/" + std::to_string(i % 100));
       }
     });
   }
@@ -115,7 +119,7 @@ TEST(Controller, PublishPathStoresEntry) {
   Controller ctrl(&kv);
   const Version v = ctrl.publish_path(42, {7, 8});
   EXPECT_EQ(v, 1u);
-  EXPECT_EQ(kv.get(path_key(42)), "*:7,8");
+  EXPECT_EQ(kv.try_get(path_key(42)).value, "*:7,8");
   EXPECT_EQ(ctrl.entries_published(), 1u);
 }
 
@@ -136,9 +140,9 @@ TEST(Controller, PublishSolutionWritesPerSourceInstance) {
     if (it == s->traffic.pairs().end()) continue;
     for (std::size_t i = 0; i < it->second.size(); ++i) {
       if (alloc.flow_tunnel[i] < 0) continue;
-      auto entry = kv.get(path_key(it->second[i].src));
-      ASSERT_TRUE(entry.has_value());
-      auto routes = decode_routes(*entry);
+      const GetResult entry = kv.try_get(path_key(it->second[i].src));
+      ASSERT_TRUE(entry.ok());
+      auto routes = decode_routes(entry.value);
       auto match = std::find_if(routes.begin(), routes.end(),
                                 [&](const RouteEntry& r) {
                                   return r.dst_site == pair.dst;

@@ -88,18 +88,18 @@ TEST(KvStoreFaultTest, DownShardRefusesReadsAndBuffersWrites) {
 
   kv.set_shard_up(shard, false);
   EXPECT_FALSE(kv.shard_up(shard));
-  std::string value;
-  EXPECT_EQ(kv.try_get("alpha", &value), ctrl::GetStatus::kUnavailable);
+  const ctrl::GetResult down = kv.try_get("alpha");
+  EXPECT_EQ(down.status, ctrl::GetStatus::kUnavailable);
+  EXPECT_TRUE(down.value.empty());
   EXPECT_GE(kv.unavailable_count(), 1u);
-  // Legacy get cannot distinguish down from missing.
-  EXPECT_FALSE(kv.get("alpha").has_value());
 
   // Writes while down are buffered; the redo log replays in order.
   kv.put("alpha", "2");
   kv.put("alpha", "3");
   kv.set_shard_up(shard, true);
-  ASSERT_EQ(kv.try_get("alpha", &value), ctrl::GetStatus::kOk);
-  EXPECT_EQ(value, "3");
+  const ctrl::GetResult up = kv.try_get("alpha");
+  ASSERT_EQ(up.status, ctrl::GetStatus::kOk);
+  EXPECT_EQ(up.value, "3");
 }
 
 TEST(KvStoreFaultTest, PublishAdvancesVersionWhileShardDown) {
@@ -111,17 +111,19 @@ TEST(KvStoreFaultTest, PublishAdvancesVersionWhileShardDown) {
   EXPECT_EQ(kv.version(), before + 1);  // readers learn an update exists
   kv.set_shard_up(0, true);
   kv.set_shard_up(1, true);
-  std::string value;
-  EXPECT_EQ(kv.try_get("k1", &value), ctrl::GetStatus::kOk);
-  EXPECT_EQ(value, "v1");
-  EXPECT_EQ(kv.try_get("k2", &value), ctrl::GetStatus::kOk);
-  EXPECT_EQ(value, "v2");
+  const ctrl::GetResult r1 = kv.try_get("k1");
+  EXPECT_EQ(r1.status, ctrl::GetStatus::kOk);
+  EXPECT_EQ(r1.value, "v1");
+  const ctrl::GetResult r2 = kv.try_get("k2");
+  EXPECT_EQ(r2.status, ctrl::GetStatus::kOk);
+  EXPECT_EQ(r2.value, "v2");
+  // Replayed publish deltas carry their publish version onto the shard.
+  EXPECT_GE(r1.version, before + 1);
 }
 
 TEST(KvStoreFaultTest, MissVsUnavailableAndEraseOnDownShard) {
   ctrl::KvStore kv(1);
-  std::string value;
-  EXPECT_EQ(kv.try_get("absent", &value), ctrl::GetStatus::kMiss);
+  EXPECT_EQ(kv.try_get("absent").status, ctrl::GetStatus::kMiss);
   kv.put("key", "v");
   kv.set_shard_up(0, false);
   EXPECT_FALSE(kv.erase("key"));

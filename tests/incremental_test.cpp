@@ -111,6 +111,14 @@ bool within_rel(double a, double b, double rel) {
                                                          std::abs(b)));
 }
 
+/// Solve context for the incremental path of the unified solve() entry.
+te::SolveContext inc_ctx(const te::TeProblem* prev = nullptr) {
+  te::SolveContext ctx;
+  ctx.incremental = true;
+  ctx.prev = prev;
+  return ctx;
+}
+
 /// Runs one scenario: interval 0 primes the incremental solver cold; each
 /// later interval evolves demand, then solves both incrementally (one
 /// retained solver) and cold (fresh state), comparing validity and
@@ -142,7 +150,8 @@ std::optional<std::string> run_case(const CaseConfig& c) {
     te::TeProblem problem = s->problem();
     problem.traffic = &current;
 
-    const te::TeSolution inc = inc_solver.solve_incremental(problem);
+    const te::SolveReport inc_report = inc_solver.solve(problem, inc_ctx());
+    const te::TeSolution& inc = inc_report.solution;
     const te::TeSolution cold = cold_solver.solve(problem);
 
     te::CheckOptions copt;
@@ -178,8 +187,7 @@ std::optional<std::string> run_case(const CaseConfig& c) {
 
     // The fault interval must have dropped every cached stage-2 result:
     // a memo hit against the failed topology would be a stale replay.
-    const te::IncrementalStats& stats =
-        inc_solver.last_incremental_stats();
+    const te::IncrementalStats& stats = inc_report.incremental;
     if (interval == c.fault_interval && stats.ssp_cache_hits > 0) {
       return c.describe() + ": stale stage-2 memo hit after a link failure";
     }
@@ -263,12 +271,12 @@ class IncrementalCacheTest : public ::testing::Test {
 
 TEST_F(IncrementalCacheTest, RepeatSolveHitsMemoAndWarmStart) {
   const te::TeProblem problem = s_->problem();
-  const te::TeSolution first = solver_.solve_incremental(problem);
-  EXPECT_FALSE(solver_.last_incremental_stats().used_incremental);
-  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+  const te::SolveReport first = solver_.solve(problem, inc_ctx());
+  EXPECT_FALSE(first.incremental.used_incremental);
+  EXPECT_EQ(first.incremental.ssp_cache_hits, 0u);
 
-  const te::TeSolution second = solver_.solve_incremental(problem);
-  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  const te::SolveReport second = solver_.solve(problem, inc_ctx());
+  const te::IncrementalStats& stats = second.incremental;
   EXPECT_TRUE(stats.used_incremental);
   EXPECT_GT(stats.ssp_cache_hits, 0u);
   EXPECT_EQ(stats.ssp_cache_misses, 0u);
@@ -279,10 +287,10 @@ TEST_F(IncrementalCacheTest, RepeatSolveHitsMemoAndWarmStart) {
   EXPECT_GT(stats.warm_start_rounds, 0u);
   EXPECT_EQ(stats.lp_iterations, 0u);
   // Identical inputs -> bit-identical outputs.
-  EXPECT_EQ(first.satisfied_gbps, second.satisfied_gbps);
-  for (const auto& [pair, alloc] : first.pairs) {
-    const auto it = second.pairs.find(pair);
-    ASSERT_NE(it, second.pairs.end());
+  EXPECT_EQ(first.solution.satisfied_gbps, second.solution.satisfied_gbps);
+  for (const auto& [pair, alloc] : first.solution.pairs) {
+    const auto it = second.solution.pairs.find(pair);
+    ASSERT_NE(it, second.solution.pairs.end());
     EXPECT_EQ(alloc.flow_tunnel, it->second.flow_tunnel);
     EXPECT_EQ(alloc.tunnel_alloc, it->second.tunnel_alloc);
   }
@@ -290,44 +298,44 @@ TEST_F(IncrementalCacheTest, RepeatSolveHitsMemoAndWarmStart) {
 
 TEST_F(IncrementalCacheTest, LinkFailureInvalidatesEverything) {
   const te::TeProblem problem = s_->problem();
-  (void)solver_.solve_incremental(problem);
-  (void)solver_.solve_incremental(problem);
-  ASSERT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+  (void)solver_.solve(problem, inc_ctx());
+  const te::SolveReport warm = solver_.solve(problem, inc_ctx());
+  ASSERT_GT(warm.incremental.ssp_cache_hits, 0u);
 
   // Duplex link down + tunnel repair, as the fault harness does.
   s_->graph.set_link_state(0, false);
   s_->graph.set_link_state(1, false);
   topo::repair_tunnels(s_->graph, s_->tunnels);
 
-  (void)solver_.solve_incremental(s_->problem());
-  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  const te::SolveReport after = solver_.solve(s_->problem(), inc_ctx());
+  const te::IncrementalStats& stats = after.incremental;
   EXPECT_EQ(stats.cache_invalidations, 1u);
   EXPECT_FALSE(stats.used_incremental);
   EXPECT_EQ(stats.ssp_cache_hits, 0u) << "stale memo hit after link failure";
 
   // The degraded topology is stable now: the reprimed cache serves hits.
-  (void)solver_.solve_incremental(s_->problem());
-  EXPECT_TRUE(solver_.last_incremental_stats().used_incremental);
-  EXPECT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+  const te::SolveReport reprimed = solver_.solve(s_->problem(), inc_ctx());
+  EXPECT_TRUE(reprimed.incremental.used_incremental);
+  EXPECT_GT(reprimed.incremental.ssp_cache_hits, 0u);
 
   // Recovery is a topology change too — the degraded-state cache must go.
   s_->graph.set_link_state(0, true);
   s_->graph.set_link_state(1, true);
   topo::repair_tunnels(s_->graph, s_->tunnels);
-  (void)solver_.solve_incremental(s_->problem());
-  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u)
+  const te::SolveReport recovered = solver_.solve(s_->problem(), inc_ctx());
+  EXPECT_EQ(recovered.incremental.ssp_cache_hits, 0u)
       << "stale memo hit after link recovery";
 }
 
 TEST_F(IncrementalCacheTest, CapacityDerateInvalidates) {
   const te::TeProblem problem = s_->problem();
-  (void)solver_.solve_incremental(problem);
-  (void)solver_.solve_incremental(problem);
-  ASSERT_GT(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+  (void)solver_.solve(problem, inc_ctx());
+  const te::SolveReport warm = solver_.solve(problem, inc_ctx());
+  ASSERT_GT(warm.incremental.ssp_cache_hits, 0u);
 
   s_->graph.link(0).capacity_gbps *= 0.5;
-  (void)solver_.solve_incremental(s_->problem());
-  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  const te::SolveReport after = solver_.solve(s_->problem(), inc_ctx());
+  const te::IncrementalStats& stats = after.incremental;
   EXPECT_EQ(stats.cache_invalidations, 1u);
   EXPECT_EQ(stats.ssp_cache_hits, 0u)
       << "stale memo hit after capacity derate";
@@ -335,13 +343,13 @@ TEST_F(IncrementalCacheTest, CapacityDerateInvalidates) {
 
 TEST_F(IncrementalCacheTest, DemandChangeIsNotAnInvalidation) {
   te::TeProblem problem = s_->problem();
-  (void)solver_.solve_incremental(problem);
+  (void)solver_.solve(problem, inc_ctx());
 
   const tm::TrafficMatrix evolved =
       evolve_traffic(s_->traffic, 0.2, 99);
   problem.traffic = &evolved;
-  (void)solver_.solve_incremental(problem);
-  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  const te::SolveReport report = solver_.solve(problem, inc_ctx());
+  const te::IncrementalStats& stats = report.incremental;
   EXPECT_TRUE(stats.used_incremental);
   EXPECT_EQ(stats.cache_invalidations, 0u);
   EXPECT_GT(stats.dirty_pairs, 0u);
@@ -356,8 +364,8 @@ TEST_F(IncrementalCacheTest, PrevProblemSeedsTheDemandDelta) {
   te::TeProblem next = s_->problem();
   next.traffic = &evolved;
 
-  (void)solver_.solve_incremental(next, &prev);
-  const te::IncrementalStats& stats = solver_.last_incremental_stats();
+  const te::SolveReport report = solver_.solve(next, inc_ctx(&prev));
+  const te::IncrementalStats& stats = report.incremental;
   EXPECT_FALSE(stats.used_incremental);
   EXPECT_GT(stats.clean_pairs, 0u);
   EXPECT_GT(stats.dirty_pairs + stats.clean_pairs, 0u);
@@ -365,11 +373,11 @@ TEST_F(IncrementalCacheTest, PrevProblemSeedsTheDemandDelta) {
 
 TEST_F(IncrementalCacheTest, ResetDropsRetainedState) {
   const te::TeProblem problem = s_->problem();
-  (void)solver_.solve_incremental(problem);
+  (void)solver_.solve(problem, inc_ctx());
   solver_.reset_incremental();
-  (void)solver_.solve_incremental(problem);
-  EXPECT_FALSE(solver_.last_incremental_stats().used_incremental);
-  EXPECT_EQ(solver_.last_incremental_stats().ssp_cache_hits, 0u);
+  const te::SolveReport report = solver_.solve(problem, inc_ctx());
+  EXPECT_FALSE(report.incremental.used_incremental);
+  EXPECT_EQ(report.incremental.ssp_cache_hits, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,7 +413,7 @@ TEST(IncrementalFaultReplay, PlannedLinkFailuresInvalidateOnEveryChange) {
   std::sort(times.begin(), times.end());
 
   te::MegaTeSolver solver;
-  (void)solver.solve_incremental(s->problem());  // prime at t=0
+  (void)solver.solve(s->problem(), inc_ctx());  // prime at t=0
   for (double t : times) {
     injector.advance_to(t);
     const bool changed = injector.take_topology_changed();
@@ -413,8 +421,8 @@ TEST(IncrementalFaultReplay, PlannedLinkFailuresInvalidateOnEveryChange) {
       s->tunnels = pristine;
       topo::repair_tunnels(s->graph, s->tunnels);
     }
-    (void)solver.solve_incremental(s->problem());
-    const te::IncrementalStats& stats = solver.last_incremental_stats();
+    const te::SolveReport report = solver.solve(s->problem(), inc_ctx());
+    const te::IncrementalStats& stats = report.incremental;
     if (changed) {
       EXPECT_EQ(stats.ssp_cache_hits, 0u)
           << "stale memo hit after a topology event at t=" << t;
@@ -448,17 +456,17 @@ TEST(IncrementalFaultReplay, ShardCrashAndRecoveryKeepTheCache) {
   fault::FaultInjector injector(plan, bind);
 
   te::MegaTeSolver solver;
-  (void)solver.solve_incremental(s->problem());
+  (void)solver.solve(s->problem(), inc_ctx());
   for (const fault::FaultEvent& e : plan.events()) {
     injector.advance_to(e.start_s + 0.5);  // shard down
     EXPECT_FALSE(injector.take_topology_changed());
-    (void)solver.solve_incremental(s->problem());
-    EXPECT_GT(solver.last_incremental_stats().ssp_cache_hits, 0u)
+    const te::SolveReport down = solver.solve(s->problem(), inc_ctx());
+    EXPECT_GT(down.incremental.ssp_cache_hits, 0u)
         << "control-plane fault must not cost the solver cache";
     injector.advance_to(e.end_s() + 0.5);  // shard recovered
-    (void)solver.solve_incremental(s->problem());
-    EXPECT_EQ(solver.last_incremental_stats().cache_invalidations, 0u);
-    EXPECT_GT(solver.last_incremental_stats().ssp_cache_hits, 0u);
+    const te::SolveReport up = solver.solve(s->problem(), inc_ctx());
+    EXPECT_EQ(up.incremental.cache_invalidations, 0u);
+    EXPECT_GT(up.incremental.ssp_cache_hits, 0u);
   }
 }
 

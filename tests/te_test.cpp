@@ -310,10 +310,10 @@ TEST(MegaTe, ParallelMatchesSerialSatisfaction) {
 TEST(MegaTe, StageTimersPopulated) {
   auto s = make_scenario(8, 14, 30, 0.3);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
-  EXPECT_GE(solver.last_stage1_seconds(), 0.0);
-  EXPECT_GE(solver.last_stage2_seconds(), 0.0);
-  EXPECT_GE(sol.solve_time_s, solver.last_stage1_seconds());
+  const SolveReport report = solver.solve(s->problem(), SolveContext{});
+  EXPECT_GE(report.stage1_seconds, 0.0);
+  EXPECT_GE(report.stage2_seconds, 0.0);
+  EXPECT_GE(report.solution.solve_time_s, report.stage1_seconds);
 }
 
 TEST(MegaTe, InvalidProblemThrows) {

@@ -11,7 +11,9 @@
 //                    [--endpoints N] [--shards N] [--quiet-tail S]
 //                    [--shard-crashes N] [--link-failures N]
 //                    [--pull-drops N] [--stale-windows N] [--k N]
-//                    [--log]            seeded fault-injection chaos run
+//                    [--batch N] [--log]  seeded fault-injection chaos run
+//                    (--batch N: N instances per host agent, pulled as one
+//                    consistent multi_get batch)
 //
 // Exit code 0 on success, 1 on a constraint violation or solver refusal,
 // 2 on usage errors.
@@ -56,8 +58,8 @@ int usage(const char* msg = nullptr) {
       "                   [--links N] [--endpoints N] [--shards N]\n"
       "                   [--quiet-tail S] [--shard-crashes N]\n"
       "                   [--link-failures N] [--pull-drops N]\n"
-      "                   [--stale-windows N] [--k N] [--log]\n"
-      "                   [--metrics-json FILE]\n"
+      "                   [--stale-windows N] [--k N] [--batch N]\n"
+      "                   [--log] [--metrics-json FILE]\n"
       "KIND: b4 | deltacom | cogentco | twan; NAME: megate | lpall |\n"
       "ncflow | teal\n"
       "--metrics-json FILE writes the run's metrics as a validated\n"
@@ -292,6 +294,13 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   opt.plan.pull_drop_windows = flag_u64(flags, "pull-drops", 2);
   opt.plan.stale_windows = flag_u64(flags, "stale-windows", 2);
   opt.convergence_intervals = flag_u64(flags, "k", 3);
+  // --batch N: host agents serve N instances each and pull their route
+  // entries as one consistent KvStore::multi_get.
+  const std::uint64_t batch = flag_u64(flags, "batch", 1);
+  if (batch > 1) {
+    opt.instances_per_agent = batch;
+    opt.batch_pull = true;
+  }
 
   obs::MetricsRegistry registry;
   opt.metrics = &registry;
