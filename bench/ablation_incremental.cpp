@@ -1,7 +1,7 @@
 // Incremental warm-start ablation (ISSUE satellite): 20 TE intervals of a
 // low-churn workload (~10% of site pairs change demand per interval),
 // solved twice per interval — cold (MegaTeSolver::solve, the deployed
-// baseline) and incrementally (solve_incremental: stage-2 memo + stage-1
+// baseline) and incrementally (SolveContext::incremental: stage-2 memo + stage-1
 // basis warm start). The workload is endpoint-heavy so per-pair FastSSP
 // dominates, which is exactly where the memo pays: clean pairs replay
 // their cached assignment instead of re-running clustering + DP.

@@ -16,6 +16,19 @@ cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc)}"
 STAGE="${1:-all}"
 
+# The socket suites spawn megate_shardd / megate_agentd children. They
+# reap their own processes, but a crashed or timed-out test binary can
+# leave daemons behind — sweep anything started from our build trees.
+cleanup_daemons() {
+  pkill -f "$(pwd)/build[^ ]*/tools/megate_shardd" 2>/dev/null || true
+  pkill -f "$(pwd)/build[^ ]*/tools/megate_agentd" 2>/dev/null || true
+}
+trap cleanup_daemons EXIT
+
+# Sanitized gtest runs are wrapped in a hard wall-clock limit: a wedged
+# daemon or a lost socket must fail CI, not hang it.
+SANITIZED_TIMEOUT="${SANITIZED_TIMEOUT:-1200}"
+
 run_default() {
   cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build -j"$JOBS"
@@ -99,12 +112,25 @@ ASAN_FILTER+=':OverlayHardening.*:FuzzHardening.*'
 # frees — use-after-retire is precisely an ASan bug class.
 ASAN_FILTER+=':KvSnapshotTest.*:KvSnapshotConcurrency.*'
 ASAN_FILTER+=':BatchedPullPropertyTest.*'
+# Socket control plane (tests/net_test.cpp, tests/netctrl_test.cpp): the
+# codec fuzzers feed truncated/corrupt frames through every decoder, and
+# the process-level chaos suites kill/SIGSTOP real shardd children
+# mid-request — buffer lifetimes across partial reads and reconnects are
+# exactly ASan's bug class. The daemons themselves run sanitized too
+# (the test binary discovers them next to itself in build-asan/).
+ASAN_FILTER+=':WireTest.*:CodecTest.*:FrameDecoderTest.*:FuzzTest.*'
+ASAN_FILTER+=':EventLoopTest.*:ServerChannelTest.*:BackoffTest.*'
+ASAN_FILTER+=':TcpTransportTest.*:NetctrlProcessTest.*'
+ASAN_FILTER+=':ChaosTransportParityTest.*:TransportDifferentialTest.*'
+ASAN_FILTER+=':NetctrlAcceptanceTest.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMEGATE_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j"$JOBS" --target megate_tests
-  ./build-asan/tests/megate_tests --gtest_filter="$ASAN_FILTER"
+  cmake --build build-asan -j"$JOBS" \
+    --target megate_tests megate_shardd megate_agentd
+  timeout "$SANITIZED_TIMEOUT" \
+    ./build-asan/tests/megate_tests --gtest_filter="$ASAN_FILTER"
 }
 
 # Suites with real cross-thread traffic: the sharded KV store under
@@ -116,12 +142,22 @@ TSAN_FILTER+=':ObsConcurrency.*'
 # Lock-free snapshot reads vs delta publishes, seqlock multi_get cuts and
 # shard flap/recovery races (tests/kv_snapshot_test.cpp).
 TSAN_FILTER+=':KvSnapshotTest.*:KvSnapshotConcurrency.*'
+# Socket layer under TSan: the in-thread server tests run ShardServer's
+# epoll loop on a background thread against a foreground client, and the
+# multi-process suites exercise the shardd/agentd daemons (spawned from
+# build-tsan/, so sanitized) with kill/SIGSTOP faults mid-traffic.
+TSAN_FILTER+=':ServerChannelTest.*:BackoffTest.*:TcpTransportTest.*'
+TSAN_FILTER+=':EventLoopTest.*:NetctrlProcessTest.*'
+TSAN_FILTER+=':ChaosTransportParityTest.*:TransportDifferentialTest.*'
+TSAN_FILTER+=':NetctrlAcceptanceTest.*'
 
 run_tsan() {
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMEGATE_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target megate_tests
-  ./build-tsan/tests/megate_tests --gtest_filter="$TSAN_FILTER"
+  cmake --build build-tsan -j"$JOBS" \
+    --target megate_tests megate_shardd megate_agentd
+  timeout "$SANITIZED_TIMEOUT" \
+    ./build-tsan/tests/megate_tests --gtest_filter="$TSAN_FILTER"
 }
 
 case "$STAGE" in

@@ -19,10 +19,10 @@ double poll_phase(std::uint64_t instance_id, double spread) {
 }  // namespace
 
 EndpointAgent::EndpointAgent(std::vector<std::uint64_t> instance_ids,
-                             KvStore* store, dataplane::HostStack* stack,
+                             KvTransport* db, dataplane::HostStack* stack,
                              AgentOptions options)
     : ids_(std::move(instance_ids)),
-      store_(store),
+      db_(db),
       stack_(stack),
       options_(options) {
   if (ids_.empty()) {
@@ -43,6 +43,21 @@ EndpointAgent::EndpointAgent(std::vector<std::uint64_t> instance_ids,
     pull_batch_size_ =
         &options_.metrics->histogram("ctrl.agent.pull.batch_size");
   }
+}
+
+EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvTransport* db,
+                             dataplane::HostStack* stack,
+                             AgentOptions options)
+    : EndpointAgent(std::vector<std::uint64_t>{instance_id}, db, stack,
+                    options) {}
+
+EndpointAgent::EndpointAgent(std::vector<std::uint64_t> instance_ids,
+                             KvStore* store, dataplane::HostStack* stack,
+                             AgentOptions options)
+    : EndpointAgent(std::move(instance_ids),
+                    static_cast<KvTransport*>(nullptr), stack, options) {
+  owned_ = std::make_unique<InProcessTransport>(store);
+  db_ = owned_.get();
 }
 
 EndpointAgent::EndpointAgent(std::uint64_t instance_id, KvStore* store,
@@ -131,13 +146,13 @@ bool EndpointAgent::try_pull_batch() {
   std::vector<GetResult> results;
   bool unavailable = false;
   if (options_.batch_pull) {
-    MultiGetResult batch = store_->multi_get(keys_);
+    MultiGetResult batch = db_->multi_get(keys_);
     unavailable = !batch.all_available() || !batch.consistent;
     results = std::move(batch.entries);
   } else {
     results.reserve(keys_.size());
     for (const std::string& key : keys_) {
-      results.push_back(store_->try_get(key));
+      results.push_back(db_->get(key));
       if (results.back().status == GetStatus::kUnavailable) {
         unavailable = true;
       }
@@ -164,7 +179,7 @@ void EndpointAgent::tick(double now_s) {
     const double poll_time = next_poll_s_;
     ++polls_;
     if (c != nullptr) ++c->polls;
-    const Version actual = store_->version();
+    const Version actual = db_->version();
     const Version v =
         options_.fault_hooks != nullptr
             ? options_.fault_hooks->observed_version(ids_.front(), actual)
@@ -193,7 +208,7 @@ void EndpointAgent::tick(double now_s) {
   }
 }
 
-std::vector<double> measure_sync_lags(KvStore& store,
+std::vector<double> measure_sync_lags(KvTransport& db,
                                       std::size_t n_instances,
                                       const AgentOptions& options,
                                       double publish_at_s, double horizon_s,
@@ -213,13 +228,13 @@ std::vector<double> measure_sync_lags(KvStore& store,
          j < std::min(i + instances_per_agent, n_instances); ++j) {
       ids.push_back(j);
     }
-    agents.emplace_back(std::move(ids), &store, nullptr, options);
+    agents.emplace_back(std::move(ids), &db, nullptr, options);
   }
 
   bool published = false;
   for (double now = 0.0; now <= horizon_s; now += tick_step_s) {
     if (!published && now >= publish_at_s) {
-      store.publish(seed);  // the config update whose spread we measure
+      db.publish(seed);  // the config update whose spread we measure
       published = true;
     }
     for (auto& a : agents) a.tick(now);
@@ -227,7 +242,7 @@ std::vector<double> measure_sync_lags(KvStore& store,
 
   std::vector<double> lags;
   lags.reserve(n_instances);
-  const Version target = store.version();
+  const Version target = db.version();
   for (const auto& a : agents) {
     if (a.applied_version() == target && a.last_apply_time_s() >= 0.0) {
       // Every instance of the host applied together.
@@ -237,6 +252,17 @@ std::vector<double> measure_sync_lags(KvStore& store,
     }
   }
   return lags;
+}
+
+std::vector<double> measure_sync_lags(KvStore& store,
+                                      std::size_t n_instances,
+                                      const AgentOptions& options,
+                                      double publish_at_s, double horizon_s,
+                                      double tick_step_s,
+                                      std::size_t instances_per_agent) {
+  InProcessTransport db(&store);
+  return measure_sync_lags(db, n_instances, options, publish_at_s,
+                           horizon_s, tick_step_s, instances_per_agent);
 }
 
 }  // namespace megate::ctrl

@@ -155,7 +155,7 @@ Version Controller::publish_solution(const te::TeProblem& problem,
   published_ += delta.upserts.size();
   erased_ += delta.erases.size();
   live_ = std::move(fresh);
-  return store_->publish_delta(delta);
+  return db_->publish_delta(delta);
 }
 
 Version Controller::publish_path(std::uint64_t instance_id,
@@ -170,7 +170,7 @@ Version Controller::publish_path(std::uint64_t instance_id,
   last_erases_ = 0;
   last_bytes_ = delta.bytes();
   live_[instance_id] = delta.upserts.front().second;
-  return store_->publish_delta(delta);
+  return db_->publish_delta(delta);
 }
 
 }  // namespace megate::ctrl

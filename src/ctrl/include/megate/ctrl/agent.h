@@ -25,6 +25,7 @@
 // poll cadence (the database will still be there next interval).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "megate/ctrl/fault_hooks.h"
 #include "megate/ctrl/kvstore.h"
 #include "megate/ctrl/telemetry.h"
+#include "megate/ctrl/transport.h"
 #include "megate/dataplane/host_stack.h"
 
 namespace megate::ctrl {
@@ -64,7 +66,15 @@ class EndpointAgent {
  public:
   /// Host agent serving `instance_ids` (must be non-empty; the first id
   /// is the primary — it keys the poll phase and the fault hooks).
-  /// `stack` may be null (pure control-plane simulations).
+  /// `stack` may be null (pure control-plane simulations). The transport
+  /// may be the in-process store or a TCP client to real shardd
+  /// processes — the agent cannot tell the difference, by design.
+  EndpointAgent(std::vector<std::uint64_t> instance_ids, KvTransport* db,
+                dataplane::HostStack* stack, AgentOptions options = {});
+  EndpointAgent(std::uint64_t instance_id, KvTransport* db,
+                dataplane::HostStack* stack, AgentOptions options = {});
+  /// In-process conveniences: wrap `store` in an owned
+  /// InProcessTransport (the original single-process construction).
   EndpointAgent(std::vector<std::uint64_t> instance_ids, KvStore* store,
                 dataplane::HostStack* stack, AgentOptions options = {});
   /// Single-instance convenience (the common fleet-simulation shape).
@@ -115,7 +125,8 @@ class EndpointAgent {
 
   std::vector<std::uint64_t> ids_;
   std::vector<std::string> keys_;  ///< path_key(ids_[i]), precomputed
-  KvStore* store_;
+  std::unique_ptr<InProcessTransport> owned_;  ///< KvStore-ctor adapter
+  KvTransport* db_;
   dataplane::HostStack* stack_;
   AgentOptions options_;
   double next_poll_s_;
@@ -128,12 +139,21 @@ class EndpointAgent {
   obs::Histogram* pull_batch_size_ = nullptr;
 };
 
-/// Convergence experiment: agents polling `store`, each serving
-/// `instances_per_agent` consecutive instance ids out of `n_instances`;
-/// a publish of all entries happens at `publish_at_s`; returns each
-/// *instance's* apply lag (seconds after the publish). The maximum is
-/// the eventual-consistency window the paper's §8 discussion quotes
-/// ("several seconds").
+/// Convergence experiment: agents polling the database behind `db`,
+/// each serving `instances_per_agent` consecutive instance ids out of
+/// `n_instances`; a publish of all entries happens at `publish_at_s`;
+/// returns each *instance's* apply lag (seconds after the publish). The
+/// maximum is the eventual-consistency window the paper's §8 discussion
+/// quotes ("several seconds"). Works identically over the in-process
+/// store and a TCP transport (the transport-differential suite asserts
+/// the lag distributions are equal).
+std::vector<double> measure_sync_lags(KvTransport& db,
+                                      std::size_t n_instances,
+                                      const AgentOptions& options,
+                                      double publish_at_s, double horizon_s,
+                                      double tick_step_s,
+                                      std::size_t instances_per_agent = 1);
+/// In-process convenience over a bare store.
 std::vector<double> measure_sync_lags(KvStore& store,
                                       std::size_t n_instances,
                                       const AgentOptions& options,

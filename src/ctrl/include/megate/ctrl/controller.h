@@ -10,11 +10,13 @@
 // the store's structural sharing keeps the unchanged majority alive.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/transport.h"
 #include "megate/te/types.h"
 
 namespace megate::ctrl {
@@ -41,7 +43,13 @@ std::vector<RouteEntry> decode_routes(const std::string& text);
 
 class Controller {
  public:
-  explicit Controller(KvStore* store) : store_(store) {}
+  /// Publishes through any transport — the in-process store or a TCP
+  /// shard client replicating deltas to megate_shardd processes.
+  explicit Controller(KvTransport* db) : db_(db) {}
+  /// In-process convenience: wraps `store` in an owned transport.
+  explicit Controller(KvStore* store)
+      : owned_(std::make_unique<InProcessTransport>(store)),
+        db_(owned_.get()) {}
 
   /// Publishes the per-source-instance route tables of `sol` as a delta
   /// against the previous publish: changed tables become upserts,
@@ -74,7 +82,8 @@ class Controller {
   std::uint64_t full_table_bytes() const noexcept;
 
  private:
-  KvStore* store_;
+  std::unique_ptr<InProcessTransport> owned_;  ///< KvStore-ctor adapter
+  KvTransport* db_;
   std::uint64_t published_ = 0;
   std::uint64_t erased_ = 0;
   std::uint64_t last_upserts_ = 0;

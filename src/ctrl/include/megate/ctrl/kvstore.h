@@ -40,7 +40,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -127,6 +126,17 @@ class KvStore {
   /// retry the payload).
   Version publish_delta(const KvDelta& delta);
 
+  /// Replication catch-up (graceful restart): atomically replaces the
+  /// entire store contents with `snapshot` (upserts only; erases are
+  /// meaningless against a cleared table) and jumps the version counter
+  /// to exactly `version`, which must be >= the current version. A
+  /// replica that missed publishes v+1..V — it was restarted empty, or
+  /// partitioned away — installs one cumulative snapshot at V instead of
+  /// replaying each missed delta. Down shards come back up: a reset IS
+  /// the recovery, so buffered redo entries (all older than the
+  /// snapshot) are discarded.
+  Version reset_to(const KvDelta& snapshot, Version version);
+
   /// Cheap version query (the endpoint heart of the pull loop).
   Version version() const noexcept {
     return version_.load(std::memory_order_acquire);
@@ -140,15 +150,6 @@ class KvStore {
   /// exactly the state at the returned version (seqlock retry while a
   /// publish is mid-flight). The batched pull primitive.
   MultiGetResult multi_get(const std::vector<std::string>& keys) const;
-
-  /// Deprecated out-param read; migrate to try_get(key).
-  [[deprecated("use GetResult try_get(key)")]] GetStatus try_get(
-      const std::string& key, std::string* value) const;
-
-  /// Deprecated legacy read: a down shard is indistinguishable from a
-  /// missing key. Migrate to try_get(key).
-  [[deprecated("use GetResult try_get(key)")]] std::optional<std::string>
-  get(const std::string& key) const;
 
   /// Removes a key (no version bump; for versioned removals use
   /// publish_delta erases). Returns false if absent or the shard is down.

@@ -403,19 +403,33 @@ MultiGetResult KvStore::multi_get(
   return out;  // unreachable: the last attempt always returns
 }
 
-GetStatus KvStore::try_get(const std::string& key,
-                           std::string* value) const {
-  GetResult r = try_get(key);
-  if (r.status == GetStatus::kOk && value != nullptr) {
-    *value = std::move(r.value);
+Version KvStore::reset_to(const KvDelta& snapshot, Version version) {
+  std::lock_guard publish_lock(publish_mu_);
+  if (version < version_.load(std::memory_order_relaxed)) {
+    throw std::invalid_argument("reset_to cannot rewind the version");
   }
-  return r.status;
-}
-
-std::optional<std::string> KvStore::get(const std::string& key) const {
-  GetResult r = try_get(key);
-  if (!r.ok()) return std::nullopt;
-  return std::move(r.value);
+  std::vector<std::vector<Op>> per_shard(shards_.size());
+  for (const auto& [key, value] : snapshot.upserts) {
+    const std::size_t h = key_hash(key);
+    per_shard[h % shards_.size()].push_back(Op{&key, &value, h});
+  }
+  static const std::shared_ptr<const Bucket> kEmptyBucket =
+      std::make_shared<Bucket>();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    std::lock_guard lock(s.mu);
+    // Start from an empty table: the snapshot replaces everything,
+    // including state a partitioned replica kept that was since erased.
+    Snapshot empty;
+    empty.mask = kMinBuckets - 1;
+    empty.buckets.assign(kMinBuckets, kEmptyBucket);
+    install_locked(s, apply_ops(empty, per_shard[i], version));
+    s.redo.clear();  // superseded by the snapshot
+    s.up = true;
+    s.up_flag.store(true, std::memory_order_seq_cst);
+  }
+  version_.store(version, std::memory_order_seq_cst);
+  return version;
 }
 
 std::size_t KvStore::size() const {

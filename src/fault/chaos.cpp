@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "megate/ctrl/agent.h"
 #include "megate/ctrl/controller.h"
 #include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/transport.h"
 #include "megate/fault/injector.h"
+#include "megate/fault/process.h"
+#include "megate/net/tcp_transport.h"
 #include "megate/te/checker.h"
 #include "megate/te/megate_solver.h"
 #include "megate/tm/traffic.h"
@@ -89,6 +95,120 @@ double installed_utilization(
   return max_util;
 }
 
+/// One spawned megate_shardd child and its announced listen port.
+struct Shardd {
+  ChildProcess proc;
+  std::uint16_t port = 0;
+};
+
+/// Spawns a shardd child (`port` 0 = kernel-assigned) and parses its
+/// "LISTENING <port>" stdout announcement.
+bool spawn_shardd(const std::string& binary, std::uint16_t port,
+                  bool recover, std::size_t shard, Shardd* out) {
+  std::vector<std::string> args = {
+      "--port", std::to_string(port),
+      "--name", "shardd" + std::to_string(shard)};
+  if (recover) args.push_back("--recover");
+  if (!out->proc.spawn(binary, args)) return false;
+  std::string line;
+  if (!out->proc.read_line(&line, 10000)) return false;
+  constexpr const char kTag[] = "LISTENING ";
+  if (line.rfind(kTag, 0) != 0) return false;
+  const unsigned long parsed = std::stoul(line.substr(sizeof(kTag) - 1));
+  if (parsed == 0 || parsed > 0xFFFF) return false;
+  out->port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+/// The injector-facing transport in TCP mode: forwards everything to the
+/// real TcpKvTransport, but maps the set_shard_up fault seam onto the
+/// configured process-level fault (admin frame, SIGKILL+restart+resync,
+/// SIGSTOP/SIGCONT+resync). Recovery is performed synchronously inside
+/// the seam call — exactly where the in-process redo-log replay happens
+/// in KvStore::set_shard_up(true) — so event ordering, and with it the
+/// chaos fingerprint, is identical across transports.
+class ShardFaultSeam final : public ctrl::KvTransport {
+ public:
+  ShardFaultSeam(net::TcpKvTransport* inner, ShardFaultMode mode,
+                 std::vector<Shardd>* procs, std::string binary)
+      : inner_(inner), mode_(mode), procs_(procs),
+        binary_(std::move(binary)) {}
+
+  ctrl::Version version() override { return inner_->version(); }
+  ctrl::GetResult get(const std::string& key) override {
+    return inner_->get(key);
+  }
+  ctrl::MultiGetResult multi_get(
+      const std::vector<std::string>& keys) override {
+    return inner_->multi_get(keys);
+  }
+  ctrl::Version publish(
+      const std::vector<std::pair<std::string, std::string>>& batch)
+      override {
+    return inner_->publish(batch);
+  }
+  ctrl::Version publish_delta(const ctrl::KvDelta& delta) override {
+    return inner_->publish_delta(delta);
+  }
+  void put(const std::string& key, std::string value) override {
+    inner_->put(key, std::move(value));
+  }
+  std::size_t num_shards() const override { return inner_->num_shards(); }
+  std::size_t shard_index(const std::string& key) const override {
+    return inner_->shard_index(key);
+  }
+  bool shard_up(std::size_t shard) const override {
+    return inner_->shard_up(shard);
+  }
+  const char* name() const noexcept override { return "tcp-chaos"; }
+
+  void set_shard_up(std::size_t shard, bool up) override {
+    Shardd& sd = (*procs_)[shard];
+    switch (mode_) {
+      case ShardFaultMode::kAdmin:
+        // Daemon stays up; its single-shard KvStore flips availability
+        // and buffers publishes in its redo log like the in-process one.
+        inner_->set_shard_up(shard, up);
+        return;
+      case ShardFaultMode::kKillRestart:
+        if (!up) {
+          // Failure-detector hint first: requests fail fast instead of
+          // eating a wall-clock timeout against a dead peer.
+          inner_->set_reachable(shard, false);
+          sd.proc.terminate();
+        } else {
+          Shardd fresh;
+          if (!spawn_shardd(binary_, sd.port, /*recover=*/true, shard,
+                            &fresh)) {
+            throw std::runtime_error("chaos: shardd restart failed");
+          }
+          sd = std::move(fresh);
+          if (!inner_->resync_shard(shard)) {
+            throw std::runtime_error("chaos: shard resync failed");
+          }
+        }
+        return;
+      case ShardFaultMode::kSigstop:
+        if (!up) {
+          inner_->set_reachable(shard, false);
+          sd.proc.stop();
+        } else {
+          sd.proc.resume();
+          if (!inner_->resync_shard(shard)) {
+            throw std::runtime_error("chaos: shard resync failed");
+          }
+        }
+        return;
+    }
+  }
+
+ private:
+  net::TcpKvTransport* inner_;
+  ShardFaultMode mode_;
+  std::vector<Shardd>* procs_;
+  std::string binary_;
+};
+
 }  // namespace
 
 ChaosReport run_chaos(const ChaosOptions& options) {
@@ -121,8 +241,37 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   }
 
   // --- control plane ------------------------------------------------------
+  // The TE database behind the KvTransport seam: either the in-process
+  // KvStore or a fleet of megate_shardd child processes over TCP.
   ctrl::KvStore kv(options.kv_shards);
-  ctrl::Controller controller(&kv);
+  ctrl::InProcessTransport local(&kv);
+  std::vector<Shardd> shardds;
+  std::unique_ptr<net::TcpKvTransport> tcp;
+  std::unique_ptr<ShardFaultSeam> seam;
+  ctrl::KvTransport* db = &local;
+  ctrl::KvTransport* fault_store = &local;
+  if (options.transport == ChaosTransportMode::kTcp) {
+    if (options.shardd_binary.empty()) {
+      throw std::invalid_argument("kTcp chaos requires shardd_binary");
+    }
+    shardds.resize(options.kv_shards);
+    net::TcpTransportOptions topts;
+    topts.peer_name = "chaos-controller";
+    for (std::size_t i = 0; i < options.kv_shards; ++i) {
+      if (!spawn_shardd(options.shardd_binary, 0, /*recover=*/false, i,
+                        &shardds[i])) {
+        throw std::runtime_error("chaos: failed to spawn megate_shardd");
+      }
+      topts.ports.push_back(shardds[i].port);
+    }
+    tcp = std::make_unique<net::TcpKvTransport>(topts);
+    seam = std::make_unique<ShardFaultSeam>(
+        tcp.get(), options.shard_fault_mode, &shardds,
+        options.shardd_binary);
+    db = tcp.get();
+    fault_store = seam.get();
+  }
+  ctrl::Controller controller(db);
 
   FaultPlanOptions popt = options.plan;
   if (popt.horizon_s <= 0.0) {
@@ -134,7 +283,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   report.last_fault_end_s = plan.last_fault_end_s();
 
   FaultInjector::Bindings bind;
-  bind.store = &kv;
+  bind.store = fault_store;
   bind.graph = &graph;
   bind.counters = &report.counters;
   FaultInjector injector(plan, bind);
@@ -173,7 +322,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         instance_ids.begin() + static_cast<std::ptrdiff_t>(
                                    std::min(i + per_agent,
                                             instance_ids.size())));
-    agents.emplace_back(std::move(ids), &kv, nullptr, aopt);
+    agents.emplace_back(std::move(ids), db, nullptr, aopt);
   }
   for (const auto& a : agents) {
     for (std::uint64_t id : a.instance_ids()) by_id[id] = &a;
@@ -268,7 +417,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     }
     stats.routed_demand_ratio =
         ticks > 0 ? routed_sum / static_cast<double>(ticks) : 0.0;
-    stats.version = kv.version();
+    stats.version = db->version();
     stats.satisfied_ratio = last_satisfied;
     stats.max_link_utilization = last_solution_util;
     for (const auto& a : agents) {
@@ -285,7 +434,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   }
 
   // --- convergence invariant ---------------------------------------------
-  report.final_version = kv.version();
+  report.final_version = db->version();
   report.all_converged = std::all_of(
       agents.begin(), agents.end(), [&](const ctrl::EndpointAgent& a) {
         return a.applied_version() == report.final_version;
@@ -352,23 +501,45 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     const auto freeze = [&](const std::string& name, std::uint64_t v) {
       reg->expose_counter(name, [v]() { return v; });
     };
-    freeze("kv.queries", kv.query_count());
-    freeze("kv.unavailable", kv.unavailable_count());
-    freeze("kv.version", kv.version());
-    for (std::size_t i = 0; i < kv.num_shards(); ++i) {
-      freeze("kv.shard" + std::to_string(i) + ".queries",
-             kv.shard_query_count(i));
+    if (options.transport == ChaosTransportMode::kInProcess) {
+      // The shared KvStore only carries traffic in in-process mode; in
+      // TCP mode the per-daemon stores live (and die) in the children.
+      freeze("kv.queries", kv.query_count());
+      freeze("kv.unavailable", kv.unavailable_count());
+      freeze("kv.version", kv.version());
+      for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+        freeze("kv.shard" + std::to_string(i) + ".queries",
+               kv.shard_query_count(i));
+      }
+      freeze("kv.snapshot.installs", kv.snapshot_installs());
+      freeze("kv.snapshot.rebuilds", kv.snapshot_rebuilds());
+      freeze("kv.delta_bytes", kv.delta_bytes());
+      freeze("kv.delta_keys", kv.delta_keys());
+      freeze("kv.multi_gets", kv.multi_get_count());
+      freeze("kv.multi_get.retries", kv.multi_get_retries());
+      freeze("kv.redo.buffered", kv.redo_buffered());
+      freeze("kv.redo.replayed", kv.redo_replayed());
+      reg->gauge("kv.keys").set(static_cast<double>(kv.size()));
+      reg->gauge("kv.bytes").set(static_cast<double>(kv.payload_bytes()));
+    } else if (tcp != nullptr) {
+      std::uint64_t connects = 0, requests = 0, failures = 0, timeouts = 0,
+                    backoffs = 0;
+      for (std::size_t i = 0; i < tcp->num_shards(); ++i) {
+        const net::ShardChannel::Stats& s = tcp->channel(i).stats();
+        connects += s.connects;
+        requests += s.requests;
+        failures += s.request_failures;
+        timeouts += s.timeouts;
+        backoffs += s.backoffs;
+      }
+      freeze("net.client.connects", connects);
+      freeze("net.client.requests", requests);
+      freeze("net.client.request_failures", failures);
+      freeze("net.client.timeouts", timeouts);
+      freeze("net.client.backoffs", backoffs);
+      freeze("net.client.unavailable", tcp->unavailable_results());
+      freeze("kv.version", report.final_version);
     }
-    freeze("kv.snapshot.installs", kv.snapshot_installs());
-    freeze("kv.snapshot.rebuilds", kv.snapshot_rebuilds());
-    freeze("kv.delta_bytes", kv.delta_bytes());
-    freeze("kv.delta_keys", kv.delta_keys());
-    freeze("kv.multi_gets", kv.multi_get_count());
-    freeze("kv.multi_get.retries", kv.multi_get_retries());
-    freeze("kv.redo.buffered", kv.redo_buffered());
-    freeze("kv.redo.replayed", kv.redo_replayed());
-    reg->gauge("kv.keys").set(static_cast<double>(kv.size()));
-    reg->gauge("kv.bytes").set(static_cast<double>(kv.payload_bytes()));
     reg->counter("chaos.violations").inc(report.violations.size());
     reg->counter("chaos.fault_events").inc(report.event_log.size());
     reg->gauge("chaos.converged_within_k")

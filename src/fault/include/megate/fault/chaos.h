@@ -33,6 +33,28 @@
 
 namespace megate::fault {
 
+/// How the control loop reaches the TE database.
+enum class ChaosTransportMode : std::uint8_t {
+  kInProcess,  ///< one shared KvStore, direct calls (the original loop)
+  /// Real megate_shardd child processes, one per logical shard, reached
+  /// over the §11 TCP protocol. Same chaos loop, same fingerprint.
+  kTcp,
+};
+
+/// What a kShardCrash fault event does to a shard (TCP transport only;
+/// in-process always uses the admin seam).
+enum class ShardFaultMode : std::uint8_t {
+  /// SET_SHARD_UP admin frame: the daemon stays alive, its KvStore
+  /// marks the shard down (the direct analog of the in-process seam).
+  kAdmin,
+  /// SIGKILL the daemon; on recovery respawn it with --recover and
+  /// replay its state with a snapshot publish (redo-log replay analog).
+  kKillRestart,
+  /// SIGSTOP the daemon (alive but mute — a network partition); on
+  /// recovery SIGCONT + snapshot resync for anything it missed.
+  kSigstop,
+};
+
 struct ChaosOptions {
   // --- scenario -----------------------------------------------------------
   std::uint32_t sites = 10;
@@ -44,6 +66,13 @@ struct ChaosOptions {
   double load = 0.15;
   std::uint64_t scenario_seed = 42;
   std::size_t kv_shards = 4;
+
+  // --- transport ----------------------------------------------------------
+  ChaosTransportMode transport = ChaosTransportMode::kInProcess;
+  ShardFaultMode shard_fault_mode = ShardFaultMode::kAdmin;
+  /// Path to the megate_shardd binary (required for kTcp): the harness
+  /// spawns one child per kv shard on kernel-assigned loopback ports.
+  std::string shardd_binary;
 
   // --- schedule -----------------------------------------------------------
   std::size_t intervals = 20;

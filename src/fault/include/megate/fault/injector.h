@@ -22,8 +22,8 @@
 
 #include "megate/ctrl/connection_manager.h"
 #include "megate/ctrl/fault_hooks.h"
-#include "megate/ctrl/kvstore.h"
 #include "megate/ctrl/telemetry.h"
+#include "megate/ctrl/transport.h"
 #include "megate/fault/fault_plan.h"
 #include "megate/topo/graph.h"
 #include "megate/util/rng.h"
@@ -33,7 +33,10 @@ namespace megate::fault {
 class FaultInjector final : public ctrl::FaultHooks {
  public:
   struct Bindings {
-    ctrl::KvStore* store = nullptr;            ///< shard crashes
+    /// Shard crashes land here: KvStore::set_shard_up in process, an
+    /// admin frame or a real process kill/restart over TCP — whatever
+    /// the bound transport maps the fault seam onto.
+    ctrl::KvTransport* store = nullptr;
     topo::Graph* graph = nullptr;              ///< link failures
     ctrl::ConnectionManager* connections = nullptr;  ///< connection drops
     ctrl::ControlCounters* counters = nullptr;       ///< stale-read counts

@@ -1,0 +1,55 @@
+#pragma once
+// Child-process management for process-level chaos: the harness spawns
+// real megate_shardd daemons, then kills, SIGSTOPs and restarts them
+// mid-run. Deliberately minimal — fork/exec, a stdout pipe for the
+// child's "LISTENING <port>" announcement, and signal plumbing.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace megate::fault {
+
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  /// Kills (SIGKILL) and reaps a still-running child.
+  ~ChildProcess();
+
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+
+  /// fork+exec `binary` with `args` (argv[0] is added automatically).
+  /// The child joins its own process group and its stdout is captured
+  /// into a pipe readable via read_line(). False on failure.
+  bool spawn(const std::string& binary,
+             const std::vector<std::string>& args);
+
+  /// Reads one '\n'-terminated line from the child's stdout (the
+  /// terminator is stripped). False on timeout or closed pipe.
+  bool read_line(std::string* line, int timeout_ms);
+
+  bool signal(int sig);
+  bool stop();    ///< SIGSTOP — freeze without killing (partition analog)
+  bool resume();  ///< SIGCONT
+  /// SIGKILL + reap. Safe on a never-started or already-reaped child.
+  void terminate();
+  /// Waits up to `timeout_ms` for exit; reaps and reports the raw
+  /// waitpid status. False while still running.
+  bool wait_exit(int timeout_ms, int* status);
+
+  pid_t pid() const noexcept { return pid_; }
+  bool running() const noexcept { return pid_ > 0; }
+
+ private:
+  void close_pipe();
+
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  std::string line_buf_;
+};
+
+}  // namespace megate::fault

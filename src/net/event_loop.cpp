@@ -1,0 +1,101 @@
+#include "megate/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+namespace megate::net {
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t ev = 0;
+  if (interest & kReadable) ev |= EPOLLIN;
+  if (interest & kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+
+std::uint32_t from_epoll(std::uint32_t ev) {
+  std::uint32_t out = 0;
+  if (ev & (EPOLLIN | EPOLLPRI)) out |= kReadable;
+  if (ev & EPOLLOUT) out |= kWritable;
+  if (ev & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) out |= kClosed;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_.reset(::epoll_create1(0));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) == 0) {
+    wake_read_.reset(pipe_fds[0]);
+    wake_write_.reset(pipe_fds[1]);
+    set_nonblocking(wake_read_.get());
+    set_nonblocking(wake_write_.get());
+    // Self-registered: draining happens inline in poll(), no callback.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_read_.get();
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_read_.get(), &ev);
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::add(int fd, std::uint32_t interest, Callback cb) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest) | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  callbacks_[fd] = std::move(cb);
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest) | EPOLLRDHUP;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::poll(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n = ::epoll_wait(epoll_.get(), events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_read_.get()) {
+      char drain[64];
+      while (::read(fd, drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    // A callback may remove other fds (or itself); re-look-up each time.
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    Callback cb = it->second;  // copy: the callback may erase the entry
+    cb(fd, from_epoll(events[i].events));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::wake() {
+  if (wake_write_.valid()) {
+    const char one = 1;
+    [[maybe_unused]] long n = ::write(wake_write_.get(), &one, 1);
+  }
+}
+
+}  // namespace megate::net

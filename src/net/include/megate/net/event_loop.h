@@ -1,0 +1,56 @@
+#pragma once
+// Minimal epoll event loop for the shard server. Single-threaded:
+// callbacks run on the polling thread, so handlers need no locking among
+// themselves. Fd lifecycle is the caller's — the loop only watches.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "megate/net/socket.h"
+
+namespace megate::net {
+
+/// Readiness bits passed to callbacks (and requested via `interest`).
+enum : std::uint32_t {
+  kReadable = 1u << 0,
+  kWritable = 1u << 1,
+  /// Delivered on error/hangup even when not requested.
+  kClosed = 1u << 2,
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(int fd, std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const noexcept { return epoll_.valid(); }
+
+  /// Registers `fd` with an interest mask (kReadable | kWritable).
+  bool add(int fd, std::uint32_t interest, Callback cb);
+  /// Changes the interest mask of a registered fd.
+  bool modify(int fd, std::uint32_t interest);
+  /// Unregisters; safe to call from inside a callback for the same fd.
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and dispatches callbacks.
+  /// Returns the number of fds dispatched, 0 on timeout, -1 on error.
+  int poll(int timeout_ms);
+
+  /// Makes a concurrent poll() return promptly (used by stop paths of
+  /// daemon mains; safe from signal-free contexts only).
+  void wake();
+
+ private:
+  Fd epoll_;
+  Fd wake_read_;
+  Fd wake_write_;
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace megate::net

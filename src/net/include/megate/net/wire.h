@@ -1,0 +1,112 @@
+#pragma once
+// Bounds-checked little-endian wire primitives for the control-plane
+// protocol (DESIGN.md §11). Explicit byte-at-a-time encoding keeps the
+// format independent of host endianness and alignment; every read is
+// checked against the buffer end, so a truncated or corrupt payload can
+// only ever produce `false`, never a crash — the property the codec fuzz
+// suite hammers.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace megate::net {
+
+/// Appends wire-encoded values to a caller-owned string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  /// Length-prefixed byte string (u32 length + raw bytes).
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Reads wire-encoded values out of a borrowed buffer. Every accessor
+/// returns false (leaving the cursor unchanged) when the buffer is too
+/// short — decoding code threads these through and rejects the payload.
+class WireReader {
+ public:
+  WireReader(const char* data, std::size_t size)
+      : p_(reinterpret_cast<const unsigned char*>(data)), size_(size) {}
+  explicit WireReader(std::string_view buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  bool u8(std::uint8_t* v) {
+    if (size_ - pos_ < 1) return false;
+    *v = p_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t* v) {
+    if (size_ - pos_ < 2) return false;
+    *v = static_cast<std::uint16_t>(p_[pos_] |
+                                    (static_cast<std::uint16_t>(p_[pos_ + 1])
+                                     << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = static_cast<std::uint32_t>(p_[pos_]) |
+         (static_cast<std::uint32_t>(p_[pos_ + 1]) << 8) |
+         (static_cast<std::uint32_t>(p_[pos_ + 2]) << 16) |
+         (static_cast<std::uint32_t>(p_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    std::uint32_t lo = 0, hi = 0;
+    const std::size_t mark = pos_;
+    if (!u32(&lo) || !u32(&hi)) {
+      pos_ = mark;
+      return false;
+    }
+    *v = static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+  /// Length-prefixed byte string; rejects lengths past the buffer end
+  /// (the overflow-bait case corruption fuzzing loves).
+  bool str(std::string* s) {
+    const std::size_t mark = pos_;
+    std::uint32_t n = 0;
+    if (!u32(&n) || size_ - pos_ < n) {
+      pos_ = mark;
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  /// True when the whole buffer was consumed — strict decoders require
+  /// this so trailing garbage cannot hide in a "valid" payload.
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  const unsigned char* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace megate::net

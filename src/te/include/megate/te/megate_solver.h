@@ -13,8 +13,9 @@
 // Endpoint flows are indivisible: every flow ends on exactly one tunnel or
 // is rejected, satisfying constraints (1b)/(1c) by construction.
 //
-// Incremental solving (solve_incremental): successive TE intervals move
-// only a fraction of the demand, so the solver retains per-interval state —
+// Incremental solving (SolveContext::incremental): successive TE intervals
+// move only a fraction of the demand, so the solver retains per-interval
+// state —
 // pair demand fingerprints (tm::diff_traffic), a per-(pair, round) stage-2
 // memo (ssp::PairMemoCache) keyed by bitwise demand + F_{k,t} hashes, and
 // one lp::SimplexWarmState per QoS round. Any topology or capacity change
@@ -126,12 +127,6 @@ class MegaTeSolver final : public Solver {
   /// argument on `ctx` — it would make one-argument calls ambiguous
   /// with the Solver::solve override above; pass `{}` for a cold solve.
   SolveReport solve(const TeProblem& problem, const SolveContext& ctx);
-
-  /// Deprecated spelling of solve(problem, {.incremental = true,
-  /// .prev = prev}).solution; migrate to the SolveReport overload.
-  [[deprecated("use solve(problem, SolveContext{.incremental = true})")]]
-  TeSolution solve_incremental(const TeProblem& problem,
-                               const TeProblem* prev = nullptr);
 
   /// Drops all state retained for incremental solves (memo, warm bases,
   /// fingerprints). The next incremental solve runs cold.

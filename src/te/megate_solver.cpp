@@ -205,11 +205,6 @@ SolveReport MegaTeSolver::solve(const TeProblem& problem,
   return report;
 }
 
-TeSolution MegaTeSolver::solve_incremental(const TeProblem& problem,
-                                           const TeProblem* prev) {
-  return solve_incremental_impl(problem, prev);
-}
-
 TeSolution MegaTeSolver::solve_incremental_impl(const TeProblem& problem,
                                                 const TeProblem* prev) {
   if (!problem.valid()) throw std::invalid_argument("invalid TE problem");

@@ -15,6 +15,7 @@
 #include "megate/ctrl/controller.h"
 #include "megate/ctrl/hybrid_sync.h"
 #include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/transport.h"
 #include "megate/fault/chaos.h"
 #include "megate/fault/fault_plan.h"
 #include "megate/fault/injector.h"
@@ -275,10 +276,11 @@ TEST(FaultInjectorTest, DeterministicEventLogAndShardLifecycle) {
   const auto run_once = [&](std::vector<std::string>* log) {
     auto s = testing::make_scenario(8, 12, 2);
     ctrl::KvStore kv(4);
+    ctrl::InProcessTransport db(&kv);
     const auto plan =
         fault::FaultPlan::generate(opt, 4, s->graph.num_links() / 2);
     fault::FaultInjector::Bindings bind;
-    bind.store = &kv;
+    bind.store = &db;
     bind.graph = &s->graph;
     fault::FaultInjector injector(plan, bind);
     bool saw_shard_down = false;

@@ -1,7 +1,7 @@
 // Differential testing of the incremental solving layer (ISSUE tentpole):
 //
 //   1. Equivalence: across ~100 seeded multi-interval scenarios with
-//      low-churn demand evolution, MegaTeSolver::solve_incremental must
+//      low-churn demand evolution, solve(problem, {.incremental = true}) must
 //      pass te::check_solution and match a cold solve's per-QoS-class
 //      satisfied demand within 1e-9 relative — including runs where
 //      fault-plan link failures strike between intervals. On failure the
@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "megate/ctrl/kvstore.h"
+#include "megate/ctrl/transport.h"
 #include "megate/fault/chaos.h"
 #include "megate/fault/fault_plan.h"
 #include "megate/fault/injector.h"
@@ -450,8 +451,9 @@ TEST(IncrementalFaultReplay, ShardCrashAndRecoveryKeepTheCache) {
   ASSERT_FALSE(plan.empty());
 
   ctrl::KvStore kv(4);
+  ctrl::InProcessTransport db(&kv);
   fault::FaultInjector::Bindings bind;
-  bind.store = &kv;
+  bind.store = &db;
   bind.graph = &s->graph;
   fault::FaultInjector injector(plan, bind);
 

@@ -265,24 +265,53 @@ TEST(KvSnapshotTest, MultiGetCountsOneQueryPerKey) {
   EXPECT_EQ(shard_sum, kv.query_count());
 }
 
-// --- deprecated shims (kept for exactly this PR) ----------------------------
+// --- reset_to (replication catch-up) ----------------------------------------
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(KvSnapshotTest, DeprecatedShimsAgreeWithGetResult) {
+TEST(KvSnapshotTest, ResetToReplacesStateAndJumpsVersion) {
+  KvStore kv(2);
+  kv.publish({{"a", "1"}, {"b", "2"}});
+  kv.publish({{"c", "3"}});
+  ASSERT_EQ(kv.version(), 2u);
+
+  // A restarted replica catches up: full snapshot at a later version.
+  KvDelta snapshot;
+  snapshot.upserts = {{"a", "10"}, {"d", "40"}};
+  EXPECT_EQ(kv.reset_to(snapshot, 7), 7u);
+  EXPECT_EQ(kv.version(), 7u);
+  EXPECT_EQ(kv.try_get("a").value, "10");
+  EXPECT_EQ(kv.try_get("d").value, "40");
+  // Keys absent from the snapshot are gone (it is the complete state).
+  EXPECT_EQ(kv.try_get("b").status, GetStatus::kMiss);
+  EXPECT_EQ(kv.try_get("c").status, GetStatus::kMiss);
+  // All shards are up after a reset, even if they were down before.
+  for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+    EXPECT_TRUE(kv.shard_up(i));
+  }
+  // Rewinding the version is refused — versions are monotone.
+  EXPECT_THROW(kv.reset_to(snapshot, 3), std::invalid_argument);
+  // Re-applying at the same version is idempotent catch-up.
+  EXPECT_EQ(kv.reset_to(snapshot, 7), 7u);
+}
+
+TEST(KvSnapshotTest, ResetToRevivesDownShardWithoutRedoReplay) {
   KvStore kv(2);
   kv.publish({{"a", "1"}});
-  std::string out;
-  EXPECT_EQ(kv.try_get("a", &out), GetStatus::kOk);
-  EXPECT_EQ(out, "1");
-  EXPECT_EQ(kv.try_get("nope", &out), GetStatus::kMiss);
-  EXPECT_EQ(kv.get("a").value_or(""), "1");
-  EXPECT_FALSE(kv.get("nope").has_value());
-  kv.set_shard_up(kv.shard_index("a"), false);
-  EXPECT_EQ(kv.try_get("a", &out), GetStatus::kUnavailable);
-  EXPECT_FALSE(kv.get("a").has_value());  // lossy: down looks like miss
+  for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+    kv.set_shard_up(i, false);
+  }
+  kv.publish({{"a", "2"}, {"b", "9"}});  // buffered in the redo log
+  KvDelta snapshot;
+  snapshot.upserts = {{"a", "2"}, {"b", "9"}};
+  kv.reset_to(snapshot, kv.version());
+  // The snapshot IS the replayed state; the redo log must not re-apply
+  // on a later set_shard_up(true).
+  for (std::size_t i = 0; i < kv.num_shards(); ++i) {
+    kv.set_shard_up(i, true);
+  }
+  EXPECT_EQ(kv.try_get("a").value, "2");
+  EXPECT_EQ(kv.try_get("b").value, "9");
+  EXPECT_EQ(kv.redo_replayed(), 0u);
 }
-#pragma GCC diagnostic pop
 
 // --- concurrency (run under TSan by ci.sh) ----------------------------------
 

@@ -1,0 +1,136 @@
+// megate_agentd — an endpoint-agent daemon pulling routes over TCP.
+//
+// Hosts one ctrl::EndpointAgent (optionally serving many instances, like
+// a hypervisor agent fronting many VMs) whose TE database is a fleet of
+// megate_shardd processes reached through the §11 protocol. Announces
+// "READY" on stdout, ticks on wall-clock time for --duration-s seconds,
+// then writes a status JSON (applied version + per-instance routes) that
+// the multi-process convergence test asserts on.
+//
+// Usage:
+//   megate_agentd --shard-ports P1,P2,... --instances I1,I2,...
+//                 [--duration-s S] [--poll-interval-s S]
+//                 [--status-json PATH] [--name S]
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "megate/ctrl/agent.h"
+#include "megate/ctrl/controller.h"
+#include "megate/net/tcp_transport.h"
+#include "megate/obs/json.h"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint16_t> ports;
+  std::vector<std::uint64_t> instances;
+  double duration_s = 10.0;
+  double poll_interval_s = 0.2;
+  std::string status_path;
+  std::string name = "agentd";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shard-ports" && i + 1 < argc) {
+      for (const std::string& p : split_csv(argv[++i])) {
+        ports.push_back(static_cast<std::uint16_t>(std::stoul(p)));
+      }
+    } else if (arg == "--instances" && i + 1 < argc) {
+      for (const std::string& id : split_csv(argv[++i])) {
+        instances.push_back(std::stoull(id));
+      }
+    } else if (arg == "--duration-s" && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (arg == "--poll-interval-s" && i + 1 < argc) {
+      poll_interval_s = std::atof(argv[++i]);
+    } else if (arg == "--status-json" && i + 1 < argc) {
+      status_path = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      name = argv[++i];
+    } else {
+      std::fprintf(stderr, "megate_agentd: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (ports.empty() || instances.empty()) {
+    std::fprintf(stderr,
+                 "megate_agentd: --shard-ports and --instances required\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  megate::net::TcpTransportOptions topts;
+  topts.ports = ports;
+  topts.role = megate::net::HelloMsg::kRoleAgent;
+  topts.peer_name = name;
+  megate::net::TcpKvTransport db(topts);
+
+  megate::ctrl::AgentOptions aopt;
+  aopt.poll_interval_s = poll_interval_s;
+  aopt.spread_interval_s = poll_interval_s;  // fast first pull
+  aopt.batch_pull = true;
+  megate::ctrl::EndpointAgent agent(instances, &db, nullptr, aopt);
+
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    const double now_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (now_s >= duration_s) break;
+    agent.tick(now_s);
+    ::usleep(10000);  // 10 ms tick granularity
+  }
+
+  if (!status_path.empty()) {
+    megate::obs::Json doc = megate::obs::Json::object();
+    doc.set("name", name);
+    doc.set("applied_version", agent.applied_version());
+    doc.set("polls", agent.polls());
+    megate::obs::Json routes = megate::obs::Json::object();
+    for (std::uint64_t id : instances) {
+      routes.set(std::to_string(id),
+                 megate::ctrl::encode_routes(agent.routes_for(id)));
+    }
+    doc.set("routes", std::move(routes));
+    std::ofstream out(status_path);
+    out << doc.dump(2) << "\n";
+    if (!out.good()) return 1;
+  }
+  return 0;
+}

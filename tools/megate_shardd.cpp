@@ -1,0 +1,85 @@
+// megate_shardd — one TE-database shard as a standalone daemon.
+//
+// Serves a single logical shard (a 1-shard KvStore) over the §11 wire
+// protocol on 127.0.0.1. Announces "LISTENING <port>" on stdout once
+// bound (the chaos harness and quickstart scripts parse this), then
+// serves until SIGINT/SIGTERM.
+//
+// Usage:
+//   megate_shardd [--port N] [--name S] [--recover] [--metrics-json PATH]
+//
+//   --port N           listen port; 0 (default) = kernel-assigned
+//   --name S           peer name reported in HELLO_ACK and metrics
+//   --recover          restart-after-crash mode: reads answer
+//                      kUnavailable until the controller replays state
+//                      (closes the restarted-empty-store stale-read hole)
+//   --metrics-json P   write a megate.metrics/1 document to P on exit
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "megate/ctrl/kvstore.h"
+#include "megate/net/shard_server.h"
+#include "megate/obs/json.h"
+#include "megate/obs/metrics.h"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  megate::net::ShardServerOptions opts;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--recover") {
+      opts.recovering = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      opts.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--name" && i + 1 < argc) {
+      opts.name = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "megate_shardd: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // One logical shard per process: sharding is the client's job.
+  megate::ctrl::KvStore kv(1);
+  megate::net::ShardServer server(&kv, opts);
+  if (!server.start()) {
+    std::fprintf(stderr, "megate_shardd: failed to listen on port %u\n",
+                 static_cast<unsigned>(opts.port));
+    return 1;
+  }
+  // The spawn handshake: parents block on this line to learn the port.
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  megate::obs::MetricsRegistry registry;
+  kv.bind_metrics(registry);
+  server.bind_metrics(registry);
+
+  while (g_stop == 0) {
+    if (server.poll(200) < 0) break;
+  }
+
+  if (!metrics_path.empty()) {
+    megate::obs::write_metrics_json(registry, opts.name, metrics_path);
+  }
+  return 0;
+}
