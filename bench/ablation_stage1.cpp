@@ -3,12 +3,34 @@
 // many-site topologies where stage 1 dominates MegaTE's runtime
 // (Fig. 9 showed Cogentco* stage 1 at ~1.9 s vs ~0.02 s of stage 2).
 
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.h"
 #include "megate/te/megate_solver.h"
 #include "megate/te/site_lp.h"
 #include "megate/util/stopwatch.h"
+
+namespace {
+
+/// Bitwise equality of two stage-1 results — the data-parallel packing
+/// solver's contract is bit-identity, not closeness (DESIGN.md §12).
+bool allocs_identical(const megate::te::SiteLpResult& a,
+                      const megate::te::SiteLpResult& b) {
+  if (a.alloc.size() != b.alloc.size()) return false;
+  for (const auto& [pair, va] : a.alloc) {
+    const auto it = b.alloc.find(pair);
+    if (it == b.alloc.end() || it->second.size() != va.size()) return false;
+    if (!va.empty() &&
+        std::memcmp(va.data(), it->second.data(),
+                    va.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace megate;
@@ -60,6 +82,50 @@ int main() {
                  std::to_string(clusters * clusters) + " max"});
     }
     t.print(std::cout);
+
+    // Data-parallel packing sweep (the ISSUE 7 tentpole): the serial
+    // reference loop vs the batched kernels at 1/2/4/8 threads on the
+    // same joint instance, with bit-identity asserted against the
+    // reference at every thread count.
+    util::Table pt(std::string("stage-1 packing thread sweep on ") +
+                   topo::to_string(kind));
+    pt.header({"solver", "time (s)", "speedup", "identical"});
+    te::SiteLpOptions ref_opt;
+    ref_opt.backend = te::SiteLpOptions::Backend::kPackingReference;
+    sw.reset();
+    const auto ref = te::solve_max_site_flow(inst->graph, inst->tunnels,
+                                             demands, {}, 0.02, ref_opt);
+    const double ref_s = sw.elapsed_seconds();
+    report.metrics().gauge(topo_key + "packing.reference_seconds").set(ref_s);
+    report.metrics()
+        .gauge(topo_key + "packing.reference_objective")
+        .set(ref.objective);
+    pt.add_row({"serial reference", util::Table::num(ref_s, 3), "1.00", "-"});
+
+    bool all_identical = true;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      te::SiteLpOptions popt;
+      popt.backend = te::SiteLpOptions::Backend::kPacking;
+      popt.packing_threads = threads;
+      sw.reset();
+      const auto got = te::solve_max_site_flow(inst->graph, inst->tunnels,
+                                               demands, {}, 0.02, popt);
+      const double s = sw.elapsed_seconds();
+      const bool identical = allocs_identical(ref, got);
+      all_identical = all_identical && identical;
+      const std::string tk =
+          topo_key + "packing.threads" + std::to_string(threads) + ".";
+      report.metrics().gauge(tk + "seconds").set(s);
+      report.metrics().gauge(tk + "speedup").set(ref_s / std::max(1e-9, s));
+      pt.add_row({"batched x" + std::to_string(threads),
+                  util::Table::num(s, 3),
+                  util::Table::num(ref_s / std::max(1e-9, s), 2),
+                  identical ? "yes" : "NO"});
+    }
+    report.metrics()
+        .gauge(topo_key + "packing.bit_identical")
+        .set(all_identical ? 1.0 : 0.0);
+    pt.print(std::cout);
 
     // End-to-end: MegaTE with contracted stage 1.
     te::MegaTeSolver plain;

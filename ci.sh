@@ -82,6 +82,7 @@ run_metrics_json_check() {
     ../bench/fig08_endpoint_cdf >/dev/null &&
     ../bench/fig16_availability >/dev/null &&
     ../bench/fig17_cost >/dev/null &&
+    ../bench/ablation_stage1 >/dev/null &&
     ../bench/micro_kvstore --benchmark_filter=skip_all >/dev/null 2>&1)
   ./build/tools/check_metrics_json "$out"/*.json
 }
@@ -123,6 +124,13 @@ ASAN_FILTER+=':EventLoopTest.*:ServerChannelTest.*:BackoffTest.*'
 ASAN_FILTER+=':TcpTransportTest.*:NetctrlProcessTest.*'
 ASAN_FILTER+=':ChaosTransportParityTest.*:TransportDifferentialTest.*'
 ASAN_FILTER+=':NetctrlAcceptanceTest.*'
+# Data-parallel stage-1 packing (tests/stage1_parallel_test.cpp,
+# tests/lp_test.cpp): the batched solver indexes a hand-built SoA arena
+# with raw pointer kernels and shards tiles across the pool — off-by-one
+# tile bounds and arena lifetime bugs are ASan territory, and the
+# 100-seed differential suite drives every code path.
+ASAN_FILTER+=':Stage1Differential.*:Stage1Parallel.*'
+ASAN_FILTER+=':Packing.*:PackingInvariants.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -150,6 +158,11 @@ TSAN_FILTER+=':ServerChannelTest.*:BackoffTest.*:TcpTransportTest.*'
 TSAN_FILTER+=':EventLoopTest.*:NetctrlProcessTest.*'
 TSAN_FILTER+=':ChaosTransportParityTest.*:TransportDifferentialTest.*'
 TSAN_FILTER+=':NetctrlAcceptanceTest.*'
+# Batched packing kernels on real pool workers: the tiled scoring and
+# clamp gathers run concurrently over shared arenas, and the differential
+# suite sweeps thread counts — any missed synchronization in the
+# tile-merge order shows up here as a data race.
+TSAN_FILTER+=':Stage1Differential.*:Stage1Parallel.*'
 
 run_tsan() {
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -330,6 +330,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
 
   te::MegaTeOptions sopt;
   sopt.metrics = reg;
+  sopt.site_lp = options.site_lp;
   te::MegaTeSolver solver(sopt);
   double last_satisfied = 0.0;
   double last_solution_util = 0.0;

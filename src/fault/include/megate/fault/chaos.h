@@ -30,6 +30,7 @@
 #include "megate/ctrl/fault_hooks.h"
 #include "megate/ctrl/telemetry.h"
 #include "megate/fault/fault_plan.h"
+#include "megate/te/site_lp.h"
 
 namespace megate::fault {
 
@@ -106,6 +107,11 @@ struct ChaosOptions {
   /// invalidates the retained state through the topology fingerprint.
   /// Aggregated telemetry lands in the counters' incremental_* fields.
   bool incremental_solve = false;
+  /// Stage-1 LP backend knobs forwarded to the solver. The defaults keep
+  /// the golden fingerprints on the historical auto/simplex path; the
+  /// stage-1 differential suite flips backend/packing_threads and asserts
+  /// the report fingerprint is invariant (DESIGN.md §12).
+  te::SiteLpOptions site_lp;
 
   // --- invariants ---------------------------------------------------------
   /// K: intervals allowed for full convergence after the last fault.

@@ -12,25 +12,70 @@
 // MegaTE's MaxSiteFlow run on hyper-scale instances where a dense exact
 // solver would exhaust memory (the paper uses Gurobi on a 24-thread Xeon;
 // see DESIGN.md for the substitution argument).
+//
+// `solve` runs the GATE-style batched data-parallel formulation: each
+// Fleischer phase is a read-only column-scoring kernel (tiled across a
+// util::ThreadPool) followed by a serial in-index-order routing pass over
+// the flagged columns, and the final feasibility clamp accumulates edge
+// loads with a row-sharded gather kernel. Results are bit-identical to
+// `solve_reference` (the original single-threaded scalar loop, retained
+// as the differential-test oracle) for every thread count — see
+// DESIGN.md §12 for the determinism argument.
 
 #include <cstddef>
+#include <limits>
 
 #include "megate/lp/model.h"
+
+namespace megate::obs {
+class MetricsRegistry;
+}
+namespace megate::util {
+class ThreadPool;
+}
 
 namespace megate::lp {
 
 struct PackingOptions {
+  /// Sentinel: derive the routing-step cap from the theory bound.
+  static constexpr std::size_t kAutoIterations =
+      std::numeric_limits<std::size_t>::max();
+
   /// Approximation parameter; the solution is >= (1-3*epsilon) * OPT.
+  /// Must satisfy 0 < epsilon < 0.5 or solve returns kInvalidModel.
   double epsilon = 0.1;
-  /// Safety cap on total routing steps; 0 -> automatic from theory bound.
-  std::size_t max_steps = 0;
+  /// Safety cap on total routing steps. kAutoIterations -> automatic from
+  /// the theory bound; 0 is rejected with kInvalidModel (a zero-step
+  /// budget can never make progress — returning an all-zero "solution"
+  /// as kOptimal would be a silent lie).
+  std::size_t max_iterations = kAutoIterations;
+  /// Worker threads for the batched kernels when the caller does not pass
+  /// a pool to solve(): 1 = run the kernels inline (serial, the default),
+  /// 0 = hardware concurrency, N = a transient N-worker pool per solve.
+  /// Results are bit-identical for every value (DESIGN.md §12); callers
+  /// that solve repeatedly should pass a long-lived pool instead.
+  std::size_t threads = 1;
+  /// Optional PR-3 observability registry: the solver emits the
+  /// "lp.packing" span (children: flatten/phases/clamp/refill) plus
+  /// lp.packing.* counters for steps, routed and fast-forwarded phases,
+  /// and columns rescored. Null = zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class PackingSolver {
  public:
   explicit PackingSolver(PackingOptions options = {}) : options_(options) {}
 
-  Solution solve(const Model& model) const;
+  /// Batched data-parallel solve. When `pool` is non-null its workers run
+  /// the tiled kernels (options_.threads is ignored); otherwise the
+  /// kernels run inline for threads == 1 or on a transient pool.
+  Solution solve(const Model& model,
+                 util::ThreadPool* pool = nullptr) const;
+
+  /// The pre-batching single-threaded scalar Garg–Könemann loop, kept as
+  /// the oracle for tests/stage1_parallel_test.cpp's differential suite:
+  /// solve() must reproduce it bit-for-bit at every thread count.
+  Solution solve_reference(const Model& model) const;
 
   /// Upper bound on OPT derived from the final dual lengths; valid for any
   /// run that returned kOptimal. Exposed for the LP ablation bench.

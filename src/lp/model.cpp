@@ -18,7 +18,9 @@ const char* to_string(Status s) noexcept {
 
 std::size_t Model::add_variable(double obj_coef) {
   obj_.push_back(obj_coef);
-  cols_.emplace_back();
+  ColRange r;
+  r.begin = static_cast<std::uint32_t>(arena_rows_.size());
+  cols_.push_back(r);
   return obj_.size() - 1;
 }
 
@@ -35,21 +37,37 @@ void Model::add_coefficient(std::size_t row, std::size_t var, double coef) {
   if (coef <= 0.0) {
     throw std::invalid_argument("lp::Model: coefficients must be > 0");
   }
-  auto& col = cols_[var];
+  ColRange& col = cols_[var];
   // Accumulate into an existing entry if the caller adds the same (row,var)
   // twice (e.g. a tunnel traversing the same link in both directions).
-  auto it = std::find_if(col.begin(), col.end(),
-                         [row](const Entry& e) { return e.row == row; });
-  if (it != col.end()) {
-    it->coef += coef;
-  } else {
-    col.push_back(Entry{row, coef});
+  for (std::uint32_t p = col.begin; p < col.begin + col.count; ++p) {
+    if (arena_rows_[p] == row) {
+      arena_coefs_[p] += coef;
+      return;
+    }
   }
+  const std::uint32_t r32 = static_cast<std::uint32_t>(row);
+  if (col.begin + col.count != arena_rows_.size()) {
+    // The column is not at the arena tail (the caller went back to an
+    // earlier variable): relocate its entries to the end so the slice
+    // stays contiguous. The old slice becomes a dead hole — acceptable,
+    // since builders extend one column at a time and never revisit.
+    const std::uint32_t new_begin =
+        static_cast<std::uint32_t>(arena_rows_.size());
+    for (std::uint32_t p = col.begin; p < col.begin + col.count; ++p) {
+      arena_rows_.push_back(arena_rows_[p]);
+      arena_coefs_.push_back(arena_coefs_[p]);
+    }
+    col.begin = new_begin;
+  }
+  arena_rows_.push_back(r32);
+  arena_coefs_.push_back(coef);
+  ++col.count;
 }
 
 std::size_t Model::num_nonzeros() const noexcept {
   std::size_t nnz = 0;
-  for (const auto& c : cols_) nnz += c.size();
+  for (const ColRange& c : cols_) nnz += c.count;
   return nnz;
 }
 
@@ -84,9 +102,10 @@ std::uint64_t Model::structural_hash() const noexcept {
   h = fnv1a_u64(h, rhs_.size());
   for (std::size_t j = 0; j < obj_.size(); ++j) {
     h = fnv1a_double(h, obj_[j]);
-    for (const Entry& e : cols_[j]) {
-      h = fnv1a_u64(h, e.row);
-      h = fnv1a_double(h, e.coef);
+    const ColumnView col = column(j);
+    for (std::size_t p = 0; p < col.size(); ++p) {
+      h = fnv1a_u64(h, col.row(p));
+      h = fnv1a_double(h, col.coef(p));
     }
   }
   return h;
@@ -97,7 +116,10 @@ double Model::max_violation(const std::vector<double>& x) const {
   const std::size_t n = std::min(x.size(), cols_.size());
   for (std::size_t j = 0; j < n; ++j) {
     if (x[j] == 0.0) continue;
-    for (const Entry& e : cols_[j]) usage[e.row] += e.coef * x[j];
+    const ColumnView col = column(j);
+    for (std::size_t p = 0; p < col.size(); ++p) {
+      usage[col.row(p)] += col.coef(p) * x[j];
+    }
   }
   double worst = 0.0;
   for (std::size_t i = 0; i < rhs_.size(); ++i) {

@@ -349,7 +349,7 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
                   options_.threads, &pool)
             : solve_max_site_flow(g, tunnels, d_k, residual,
                                   problem.epsilon, options_.site_lp,
-                                  warm_in, warm_out);
+                                  warm_in, warm_out, &pool);
     s1_span.reset();
     const double s1_elapsed = s1.elapsed_seconds();
     stage1_s_ += s1_elapsed;

@@ -18,7 +18,7 @@ SiteLpResult solve_max_site_flow(
         site_demands,
     const std::vector<double>& capacity_override, double epsilon,
     const SiteLpOptions& options, const lp::SimplexWarmState* warm,
-    lp::SimplexWarmState* warm_out) {
+    lp::SimplexWarmState* warm_out, util::ThreadPool* pool) {
   if (!capacity_override.empty() &&
       capacity_override.size() != g.num_links()) {
     throw std::invalid_argument(
@@ -101,8 +101,11 @@ SiteLpResult solve_max_site_flow(
   } else {
     lp::PackingOptions popt;
     popt.epsilon = options.packing_epsilon;
+    popt.threads = options.packing_threads;
     lp::PackingSolver solver(popt);
-    lp_sol = solver.solve(model);
+    lp_sol = options.backend == SiteLpOptions::Backend::kPackingReference
+                 ? solver.solve_reference(model)
+                 : solver.solve(model, pool);
     if (warm_out != nullptr) warm_out->clear();
   }
 
@@ -132,8 +135,14 @@ SiteLpResult solve_max_site_flow_clustered(
     std::size_t threads, util::ThreadPool* pool) {
   if (clusters < 2) {
     return solve_max_site_flow(g, tunnels, site_demands, capacity_override,
-                               epsilon, options);
+                               epsilon, options, nullptr, nullptr, pool);
   }
+  // The buckets below run *on* the pool, so the nested packing solves must
+  // stay inline: handing them the same pool would deadlock (a pool task
+  // blocking on sibling tasks), and a transient pool per bucket would
+  // oversubscribe. Parallelism comes from the bucket fan-out instead.
+  SiteLpOptions bucket_options = options;
+  bucket_options.packing_threads = 1;
   const std::vector<std::uint32_t> cluster =
       topo::cluster_sites(g, clusters);
 
@@ -196,8 +205,8 @@ SiteLpResult solve_max_site_flow_clustered(
         caps[e] = base_capacity(e) * (b.estimated[e] / total_estimated[e]);
       }
     }
-    partial[i] =
-        solve_max_site_flow(g, tunnels, b.demands, caps, epsilon, options);
+    partial[i] = solve_max_site_flow(g, tunnels, b.demands, caps, epsilon,
+                                     bucket_options);
   });
 
   SiteLpResult merged;

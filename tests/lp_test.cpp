@@ -342,8 +342,32 @@ TEST(Packing, RejectsBadEpsilon) {
   PackingOptions opt;
   opt.epsilon = 0.9;
   EXPECT_EQ(PackingSolver(opt).solve(m).status, Status::kInvalidModel);
+  EXPECT_EQ(PackingSolver(opt).solve_reference(m).status,
+            Status::kInvalidModel);
   opt.epsilon = 0.0;
   EXPECT_EQ(PackingSolver(opt).solve(m).status, Status::kInvalidModel);
+  EXPECT_EQ(PackingSolver(opt).solve_reference(m).status,
+            Status::kInvalidModel);
+}
+
+TEST(Packing, RejectsZeroIterationBudget) {
+  // max_iterations == 0 can never route anything; both paths must refuse
+  // instead of returning the all-zero iterate labelled kOptimal.
+  Model m;
+  const auto x = m.add_variable(1.0);
+  m.add_coefficient(m.add_constraint(1.0), x, 1.0);
+  PackingOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_EQ(PackingSolver(opt).solve(m).status, Status::kInvalidModel);
+  EXPECT_EQ(PackingSolver(opt).solve_reference(m).status,
+            Status::kInvalidModel);
+  // The sentinel (and any positive cap) stays accepted.
+  opt.max_iterations = PackingOptions::kAutoIterations;
+  EXPECT_EQ(PackingSolver(opt).solve(m).status, Status::kOptimal);
+  opt.max_iterations = 5;
+  const Solution s = PackingSolver(opt).solve(m);
+  EXPECT_TRUE(s.status == Status::kOptimal || s.status == Status::kIterLimit);
+  EXPECT_LE(s.iterations, 5u);
 }
 
 TEST(Packing, DualBoundsOptimum) {
@@ -354,6 +378,141 @@ TEST(Packing, DualBoundsOptimum) {
   Solution s = solver.solve(m);
   ASSERT_EQ(s.status, Status::kOptimal);
   EXPECT_GE(solver.last_dual_bound() + 1e-6, s.objective);
+}
+
+// --- Packing invariants on both solve paths --------------------------------
+
+namespace {
+
+/// Random packing LP used by the invariant sweep below.
+Model random_packing_model(std::uint64_t seed, int nrows, int ncols) {
+  util::Rng rng(seed);
+  Model m;
+  std::vector<std::size_t> rows;
+  for (int i = 0; i < nrows; ++i) {
+    rows.push_back(m.add_constraint(rng.uniform(2.0, 60.0)));
+  }
+  for (int j = 0; j < ncols; ++j) {
+    const auto x = m.add_variable(rng.uniform(0.3, 2.5));
+    const int k = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int t = 0; t < k; ++t) {
+      m.add_coefficient(rows[rng.uniform_int(0, rows.size() - 1)], x,
+                        rng.uniform(0.3, 1.8));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+// Property sweep over both the batched solve (serial and 4-thread) and
+// the reference loop: the primal iterate is feasible to within rounding,
+// bounded above by the exposed dual bound, and — cross-checked against
+// the exact simplex — the dual bound really is an upper bound on OPT
+// while the primal stays a (1 - 3 eps)-approximation.
+TEST(PackingInvariants, FeasibleAndDualBoundedOnAllPaths) {
+  const double eps = 0.1;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Model m = random_packing_model(seed * 7919, 6 + seed % 7,
+                                         30 + static_cast<int>(seed) * 9);
+    const Solution exact = SimplexSolver().solve(m);
+    ASSERT_EQ(exact.status, Status::kOptimal) << "seed " << seed;
+
+    for (const std::size_t threads : {1u, 4u}) {
+      PackingOptions opt;
+      opt.epsilon = eps;
+      opt.threads = threads;
+      for (const bool reference : {false, true}) {
+        if (reference && threads != 1) continue;  // no threads knob there
+        PackingSolver solver(opt);
+        const Solution s =
+            reference ? solver.solve_reference(m) : solver.solve(m);
+        const std::string label = (reference ? "reference" : "batched") +
+                                  std::string(" threads=") +
+                                  std::to_string(threads) + " seed=" +
+                                  std::to_string(seed);
+        ASSERT_EQ(s.status, Status::kOptimal) << label;
+        // Primal feasibility: no row exceeds its rhs beyond rounding.
+        EXPECT_LE(m.max_violation(s.x), 1e-6) << label;
+        for (double v : s.x) EXPECT_GE(v, 0.0) << label;
+        // Weak duality, both against the solver's own bound and OPT.
+        const double dual = solver.last_dual_bound();
+        EXPECT_LE(s.objective, dual + 1e-6) << label;
+        EXPECT_GE(dual, exact.objective - 1e-6) << label;
+        // Approximation guarantee.
+        EXPECT_GE(s.objective, (1.0 - 3.0 * eps) * exact.objective - 1e-6)
+            << label;
+        EXPECT_LE(s.objective, exact.objective + 1e-6) << label;
+      }
+    }
+  }
+}
+
+// Degenerate shapes must behave identically on the batched and reference
+// paths: zero-capacity rows pin their columns, empty models and dead
+// columns are kOptimal at zero, a lone unconstrained profitable column is
+// unbounded.
+TEST(PackingInvariants, DegenerateModelsOnBothPaths) {
+  PackingOptions par;
+  par.threads = 4;
+  const auto both = [&](const Model& m) {
+    const Solution a = PackingSolver().solve(m);
+    const Solution b = PackingSolver(par).solve(m);
+    const Solution c = PackingSolver().solve_reference(m);
+    EXPECT_EQ(a.status, c.status);
+    EXPECT_EQ(b.status, c.status);
+    EXPECT_EQ(a.x, c.x);
+    EXPECT_EQ(b.x, c.x);
+    return c;
+  };
+
+  {
+    Model m;  // empty
+    EXPECT_EQ(both(m).status, Status::kOptimal);
+  }
+  {
+    Model m;  // single column, single row
+    const auto x = m.add_variable(2.0);
+    m.add_coefficient(m.add_constraint(4.0), x, 1.0);
+    const Solution s = both(m);
+    EXPECT_EQ(s.status, Status::kOptimal);
+    EXPECT_GT(s.x[x], 0.0);
+    EXPECT_LE(m.max_violation(s.x), 1e-9);
+  }
+  {
+    Model m;  // every column dead on a zero-capacity row
+    const auto r = m.add_constraint(0.0);
+    for (int j = 0; j < 3; ++j) m.add_coefficient(r, m.add_variable(1.0), 1.0);
+    const Solution s = both(m);
+    EXPECT_EQ(s.status, Status::kOptimal);
+    for (double v : s.x) EXPECT_EQ(v, 0.0);
+  }
+  {
+    Model m;  // dead and live columns mixed
+    const auto dead_row = m.add_constraint(0.0);
+    const auto live_row = m.add_constraint(5.0);
+    const auto xd = m.add_variable(10.0);
+    m.add_coefficient(dead_row, xd, 1.0);
+    const auto xl = m.add_variable(1.0);
+    m.add_coefficient(live_row, xl, 1.0);
+    const Solution s = both(m);
+    EXPECT_EQ(s.status, Status::kOptimal);
+    EXPECT_EQ(s.x[xd], 0.0);
+    EXPECT_GT(s.x[xl], 0.0);
+  }
+  {
+    Model m;  // only non-positive profits: nothing to pack
+    m.add_variable(-1.0);
+    m.add_variable(0.0);
+    m.add_constraint(3.0);
+    EXPECT_EQ(both(m).status, Status::kOptimal);
+  }
+  {
+    Model m;  // profitable column with no rows at all
+    m.add_variable(1.0);
+    m.add_constraint(1.0);
+    EXPECT_EQ(both(m).status, Status::kUnbounded);
+  }
 }
 
 // Property sweep: on random packing LPs the packing solver must be

@@ -1,0 +1,424 @@
+// Differential testing of the data-parallel stage-1 packing solver
+// (ISSUE 7 tentpole): lp::PackingSolver::solve must be BIT-IDENTICAL to
+// lp::PackingSolver::solve_reference — the retained pre-batching scalar
+// loop — for every thread count, every run, and every pool configuration.
+//
+//   1. Equivalence: ~100 seeded random packing LPs (including degenerate
+//      features: zero-capacity rows, non-positive profits, single-entry
+//      columns), each solved by the serial reference and by the batched
+//      solver at threads {1, 2, 4, 8}, with an external caller pool, and
+//      twice at the same thread count. Any bitwise difference in x,
+//      objective, iterations, status or the dual bound is a failure; the
+//      harness then shrinks the instance and reports the smallest
+//      still-failing config with its exact seed.
+//
+//   2. Warm-start parity: a multi-interval te::MegaTeSolver run on the
+//      packing backend (cold + incremental solves over evolving traffic)
+//      must produce bitwise-equal TeSolutions whether stage 1 runs on the
+//      serial reference or the batched kernels at 8 threads. This is what
+//      keeps the PR-5 stage-2 memo (keyed on bitwise F_{k,t} hashes)
+//      valid across deployments with different core counts.
+//
+//   3. Chaos parity: the PR-1 chaos fingerprint is invariant under the
+//      stage-1 backend (reference vs batched) and across repeated runs.
+//
+// Why bit-identical and not "close": see DESIGN.md §12.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "megate/fault/chaos.h"
+#include "megate/lp/model.h"
+#include "megate/lp/packing.h"
+#include "megate/te/megate_solver.h"
+#include "megate/tm/traffic.h"
+#include "megate/util/rng.h"
+#include "megate/util/thread_pool.h"
+#include "test_helpers.h"
+
+namespace megate {
+namespace {
+
+/// Bitwise double equality: distinguishes -0.0 from 0.0 and is exact —
+/// "close" is not good enough when downstream caches key on these bits.
+bool bits_equal(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+std::string hex_pair(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.17g (0x%016llx) vs %.17g (0x%016llx)",
+                a, static_cast<unsigned long long>(ba), b,
+                static_cast<unsigned long long>(bb));
+  return buf;
+}
+
+/// First bitwise difference between a candidate solve and the reference,
+/// or nullopt when they agree exactly.
+std::optional<std::string> diff_solutions(const lp::Solution& ref,
+                                          double ref_dual,
+                                          const lp::Solution& got,
+                                          double got_dual,
+                                          const std::string& label) {
+  if (ref.status != got.status) {
+    return label + ": status " + lp::to_string(got.status) + " vs " +
+           lp::to_string(ref.status);
+  }
+  if (ref.iterations != got.iterations) {
+    return label + ": iterations " + std::to_string(got.iterations) +
+           " vs " + std::to_string(ref.iterations);
+  }
+  if (!bits_equal(ref.objective, got.objective)) {
+    return label + ": objective " + hex_pair(got.objective, ref.objective);
+  }
+  if (!bits_equal(ref_dual, got_dual)) {
+    return label + ": dual bound " + hex_pair(got_dual, ref_dual);
+  }
+  if (ref.x.size() != got.x.size()) {
+    return label + ": x size " + std::to_string(got.x.size()) + " vs " +
+           std::to_string(ref.x.size());
+  }
+  for (std::size_t j = 0; j < ref.x.size(); ++j) {
+    if (!bits_equal(ref.x[j], got.x[j])) {
+      return label + ": x[" + std::to_string(j) + "] " +
+             hex_pair(got.x[j], ref.x[j]);
+    }
+  }
+  return std::nullopt;
+}
+
+// --- 1. Random-LP differential sweep ---------------------------------------
+
+struct CaseConfig {
+  std::uint64_t seed = 0;
+  int rows = 0;
+  int cols = 0;
+  int max_entries = 0;    ///< nonzeros per column, 1..max
+  double epsilon = 0.1;
+  bool zero_cap_row = false;   ///< include a 0-rhs row some columns touch
+  bool neg_profit_cols = false;  ///< sprinkle non-positive-profit columns
+
+  std::string describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "Case{seed=%llu, rows=%d, cols=%d, max_entries=%d, "
+                  "eps=%.2f, zero_cap=%d, neg_profit=%d}",
+                  static_cast<unsigned long long>(seed), rows, cols,
+                  max_entries, epsilon, zero_cap_row ? 1 : 0,
+                  neg_profit_cols ? 1 : 0);
+    return buf;
+  }
+};
+
+CaseConfig random_case(std::uint64_t seed) {
+  util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 23);
+  CaseConfig c;
+  c.seed = seed;
+  c.rows = 2 + static_cast<int>(rng.uniform_int(0, 38));
+  c.cols = 1 + static_cast<int>(rng.uniform_int(0, 299));
+  c.max_entries = 1 + static_cast<int>(rng.uniform_int(0, 4));
+  const double eps_grid[] = {0.05, 0.07, 0.1, 0.2, 0.3};
+  c.epsilon = eps_grid[rng.uniform_int(0, 4)];
+  c.zero_cap_row = rng.uniform() < 0.25;
+  c.neg_profit_cols = rng.uniform() < 0.25;
+  return c;
+}
+
+lp::Model build_model(const CaseConfig& c) {
+  util::Rng rng(c.seed * 1000003ULL + 7);
+  lp::Model m;
+  std::vector<std::size_t> rows;
+  for (int i = 0; i < c.rows; ++i) {
+    rows.push_back(m.add_constraint(rng.uniform(1.0, 80.0)));
+  }
+  std::size_t dead_row = ~std::size_t{0};
+  if (c.zero_cap_row) dead_row = m.add_constraint(0.0);
+  for (int j = 0; j < c.cols; ++j) {
+    double profit = rng.uniform(0.2, 3.0);
+    if (c.neg_profit_cols && rng.uniform() < 0.15) {
+      profit = -profit;  // skipped by both paths, pins x_j = 0
+    }
+    const auto x = m.add_variable(profit);
+    const int k =
+        1 + static_cast<int>(rng.uniform_int(0, c.max_entries - 1));
+    for (int t = 0; t < k; ++t) {
+      // Duplicates accumulate in the model; both solve paths see the
+      // already-merged column, so this also covers the dedup path.
+      m.add_coefficient(rows[rng.uniform_int(0, rows.size() - 1)], x,
+                        rng.uniform(0.2, 2.0));
+    }
+    if (dead_row != ~std::size_t{0} && rng.uniform() < 0.1) {
+      m.add_coefficient(dead_row, x, 1.0);  // column becomes dead
+    }
+  }
+  return m;
+}
+
+/// Runs one case: serial reference vs the batched solver across thread
+/// counts, repeats and an external pool. Returns the first mismatch.
+std::optional<std::string> run_case(const CaseConfig& c) {
+  const lp::Model m = build_model(c);
+
+  lp::PackingOptions base;
+  base.epsilon = c.epsilon;
+  lp::PackingSolver ref_solver(base);
+  const lp::Solution ref = ref_solver.solve_reference(m);
+  const double ref_dual = ref_solver.last_dual_bound();
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    lp::PackingOptions opt = base;
+    opt.threads = threads;
+    lp::PackingSolver solver(opt);
+    const lp::Solution got = solver.solve(m);
+    if (auto d = diff_solutions(ref, ref_dual, got, solver.last_dual_bound(),
+                                "threads=" + std::to_string(threads))) {
+      return d;
+    }
+  }
+
+  // Same thread count twice: scheduling noise must not leak into results.
+  {
+    lp::PackingOptions opt = base;
+    opt.threads = 8;
+    lp::PackingSolver solver(opt);
+    const lp::Solution again = solver.solve(m);
+    if (auto d = diff_solutions(ref, ref_dual, again,
+                                solver.last_dual_bound(),
+                                "threads=8 repeat")) {
+      return d;
+    }
+  }
+
+  // Caller-provided pool (the te::MegaTeSolver configuration), with a
+  // worker count not in the sweep above.
+  {
+    util::ThreadPool pool(3);
+    lp::PackingSolver solver(base);
+    const lp::Solution got = solver.solve(m, &pool);
+    if (auto d = diff_solutions(ref, ref_dual, got, solver.last_dual_bound(),
+                                "external pool(3)")) {
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Shrinks a failing case: repeatedly halves columns/rows/entries while
+/// the failure reproduces, so the report points at a minimal instance.
+CaseConfig shrink(CaseConfig c) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int dim = 0; dim < 4; ++dim) {
+      CaseConfig smaller = c;
+      switch (dim) {
+        case 0: smaller.cols = c.cols / 2; break;
+        case 1: smaller.rows = c.rows / 2; break;
+        case 2: smaller.max_entries = c.max_entries / 2; break;
+        case 3:
+          smaller.zero_cap_row = false;
+          smaller.neg_profit_cols = false;
+          break;
+      }
+      if (smaller.cols < 1 || smaller.rows < 1 || smaller.max_entries < 1) {
+        continue;
+      }
+      if (smaller.cols == c.cols && smaller.rows == c.rows &&
+          smaller.max_entries == c.max_entries &&
+          smaller.zero_cap_row == c.zero_cap_row &&
+          smaller.neg_profit_cols == c.neg_profit_cols) {
+        continue;
+      }
+      if (run_case(smaller).has_value()) {
+        c = smaller;
+        progress = true;
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Stage1Differential, ParallelBitIdenticalToSerialAcross100Seeds) {
+  int failures = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const CaseConfig c = random_case(seed);
+    const auto violation = run_case(c);
+    if (!violation) continue;
+    const CaseConfig minimal = shrink(c);
+    const auto min_violation = run_case(minimal);
+    ADD_FAILURE() << c.describe() << ": " << *violation
+                  << "\n  shrunk to " << minimal.describe() << ": "
+                  << (min_violation ? *min_violation : "(no longer fails)");
+    if (++failures >= 3) {
+      GTEST_FAIL() << "stopping after 3 failing seeds";
+    }
+  }
+}
+
+TEST(Stage1Differential, HardwareThreadCountAlsoBitIdentical) {
+  // threads = 0 resolves to hardware concurrency — whatever this machine
+  // has must not change the answer either.
+  const CaseConfig c = random_case(4242);
+  const lp::Model m = build_model(c);
+  lp::PackingOptions opt;
+  opt.epsilon = c.epsilon;
+  lp::PackingSolver ref_solver(opt);
+  const lp::Solution ref = ref_solver.solve_reference(m);
+  opt.threads = 0;
+  lp::PackingSolver solver(opt);
+  const lp::Solution got = solver.solve(m);
+  const auto d = diff_solutions(ref, ref_solver.last_dual_bound(), got,
+                                solver.last_dual_bound(), "threads=0");
+  EXPECT_FALSE(d.has_value()) << *d;
+}
+
+// --- 2. te::MegaTeSolver warm-start parity ---------------------------------
+
+/// Evolves a traffic matrix by one interval (seeded per flow, independent
+/// of container iteration order) — same idiom as incremental_test.cpp.
+tm::TrafficMatrix evolve_traffic(const tm::TrafficMatrix& prev, double churn,
+                                 std::uint64_t seed) {
+  tm::TrafficMatrix out;
+  for (const auto& [pair, flows] : prev.pairs()) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      tm::EndpointDemand d = flows[i];
+      util::Rng rng(seed ^ (d.src * 0x9E3779B97F4A7C15ULL) ^
+                    (d.dst * 0xBF58476D1CE4E5B9ULL) ^ i);
+      if (rng.uniform() < churn) {
+        d.demand_gbps *= 0.5 + rng.uniform();
+      }
+      out.add(d);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> diff_te_solutions(const te::TeSolution& a,
+                                             const te::TeSolution& b) {
+  if (!bits_equal(a.satisfied_gbps, b.satisfied_gbps)) {
+    return "satisfied_gbps " + hex_pair(b.satisfied_gbps, a.satisfied_gbps);
+  }
+  if (a.pairs.size() != b.pairs.size()) {
+    return "pair count " + std::to_string(b.pairs.size()) + " vs " +
+           std::to_string(a.pairs.size());
+  }
+  for (const auto& [pair, alloc] : a.pairs) {
+    const auto it = b.pairs.find(pair);
+    if (it == b.pairs.end()) {
+      return "pair (" + std::to_string(pair.src) + "," +
+             std::to_string(pair.dst) + ") missing";
+    }
+    if (alloc.tunnel_alloc.size() != it->second.tunnel_alloc.size()) {
+      return "tunnel_alloc size mismatch";
+    }
+    for (std::size_t t = 0; t < alloc.tunnel_alloc.size(); ++t) {
+      if (!bits_equal(alloc.tunnel_alloc[t], it->second.tunnel_alloc[t])) {
+        return "F_{k,t} " +
+               hex_pair(it->second.tunnel_alloc[t], alloc.tunnel_alloc[t]);
+      }
+    }
+    if (alloc.flow_tunnel != it->second.flow_tunnel) {
+      return "flow_tunnel assignment mismatch";
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(Stage1Parallel, IncrementalWarmStartParityAcrossBackends) {
+  // Cold solve + incremental resolves over evolving traffic: the serial
+  // reference backend at 1 thread and the batched backend at 8 threads
+  // must agree bitwise on every interval's full solution. The batched
+  // side exercises solve_incremental's stage-1 path including the
+  // F_{k,t}-keyed stage-2 memo (PR 5), which only stays coherent because
+  // stage 1 is bit-deterministic.
+  auto s = testing::make_scenario(12, 20, 3, 0.3, 7);
+
+  te::MegaTeOptions serial_opt;
+  serial_opt.threads = 1;
+  serial_opt.site_lp.backend = te::SiteLpOptions::Backend::kPackingReference;
+  te::MegaTeSolver serial_solver(serial_opt);
+
+  te::MegaTeOptions par_opt;
+  par_opt.threads = 8;
+  par_opt.site_lp.backend = te::SiteLpOptions::Backend::kPacking;
+  par_opt.site_lp.packing_threads = 8;
+  te::MegaTeSolver par_solver(par_opt);
+
+  tm::TrafficMatrix current = s->traffic;
+  for (std::size_t interval = 0; interval < 4; ++interval) {
+    if (interval > 0) {
+      current = evolve_traffic(current, 0.15, 1000003ULL * interval + 5);
+    }
+    te::TeProblem problem = s->problem();
+    problem.traffic = &current;
+    te::SolveContext ctx;
+    ctx.incremental = interval > 0;
+    const te::SolveReport a = serial_solver.solve(problem, ctx);
+    const te::SolveReport b = par_solver.solve(problem, ctx);
+    const auto d = diff_te_solutions(a.solution, b.solution);
+    EXPECT_FALSE(d.has_value())
+        << "interval " << interval << ": " << *d;
+    if (d) break;
+  }
+}
+
+// --- 3. Chaos fingerprint parity -------------------------------------------
+
+fault::ChaosOptions chaos_base() {
+  fault::ChaosOptions o;
+  o.sites = 8;
+  o.duplex_links = 12;
+  o.endpoints_per_site = 2;
+  o.intervals = 8;
+  o.interval_s = 15.0;
+  o.poll_interval_s = 4.0;
+  o.kv_shards = 2;
+  o.plan.seed = 21;
+  o.plan.horizon_s = 0.0;  // auto-size to intervals * interval_s
+  o.plan.quiet_tail_s = 45.0;
+  o.plan.shard_crashes = 2;
+  o.plan.link_failures = 1;
+  o.plan.pull_drop_windows = 1;
+  o.plan.stale_windows = 1;
+  // Force stage 1 onto the packing solver (small chaos topologies would
+  // otherwise auto-pick the simplex and never touch the batched kernels).
+  o.site_lp.backend = te::SiteLpOptions::Backend::kPacking;
+  o.site_lp.packing_threads = 8;
+  return o;
+}
+
+TEST(Stage1Parallel, ChaosFingerprintInvariantAcrossBackends) {
+  fault::ChaosOptions par = chaos_base();
+  const fault::ChaosReport a = fault::run_chaos(par);
+  EXPECT_TRUE(a.ok()) << (a.violations.empty() ? "did not converge"
+                                               : a.violations.front());
+
+  // Same loop, stage 1 on the serial reference: same routes, same events,
+  // same fingerprint — the one-line statement that the batched solver
+  // changed nothing observable.
+  fault::ChaosOptions ser = chaos_base();
+  ser.site_lp.backend = te::SiteLpOptions::Backend::kPackingReference;
+  ser.site_lp.packing_threads = 1;
+  const fault::ChaosReport b = fault::run_chaos(ser);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+
+  // And repeated runs of the parallel configuration are bit-stable.
+  const fault::ChaosReport again = fault::run_chaos(par);
+  EXPECT_EQ(a.fingerprint, again.fingerprint);
+}
+
+}  // namespace
+}  // namespace megate
