@@ -83,7 +83,10 @@ run_metrics_json_check() {
     ../bench/fig16_availability >/dev/null &&
     ../bench/fig17_cost >/dev/null &&
     ../bench/ablation_stage1 >/dev/null &&
+    ../bench/ablation_tunnels >/dev/null &&
     ../bench/micro_kvstore --benchmark_filter=skip_all >/dev/null 2>&1)
+  # check_metrics_json additionally enforces the per-bench contracts
+  # (stage-1 thread sweep, tunnel-selection hop-budget frontier).
   ./build/tools/check_metrics_json "$out"/*.json
 }
 
@@ -131,6 +134,13 @@ ASAN_FILTER+=':NetctrlAcceptanceTest.*'
 # 100-seed differential suite drives every code path.
 ASAN_FILTER+=':Stage1Differential.*:Stage1Parallel.*'
 ASAN_FILTER+=':Packing.*:PackingInvariants.*'
+# SR hop-budget planning (tests/tunnel_budget_test.cpp): the property
+# suite serializes every built tunnel through dataplane::SrHeader across
+# fuzzed seeds x budgets x both selection backends, and the centrality
+# backend composes paths from raw parent-tree walks — index arithmetic
+# over preallocated trees is ASan territory.
+ASAN_FILTER+=':TunnelBudgetProperty.*:KspDeterminism.*'
+ASAN_FILTER+=':CentralityBackend.*:TunnelStats.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

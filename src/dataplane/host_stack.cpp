@@ -126,10 +126,13 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
 
   if (!hops || hops->empty()) {
     // No TE decision installed: hand the frame on unmodified (it will be
-    // five-tuple hashed by the WAN edge, i.e. conventional TE).
+    // five-tuple hashed by the WAN edge, i.e. conventional TE). This is
+    // the only egress path that passes by design; it gets its own counter
+    // so it can never be confused with an encap failure.
     verdict.action = TcVerdict::Action::kPass;
     verdict.packet.assign(frame.begin(), frame.end());
     ++counters_.egress_passed;
+    ++counters_.egress_no_route;
     return verdict;
   }
 
@@ -139,13 +142,16 @@ TcVerdict HostStack::tc_egress(ConstBytes frame,
   sr.offset = 0;
   sr.hops = *hops;
   if (!sr.valid()) {
-    // An installed route the SR header cannot carry (e.g. > kSrMaxHops).
-    // Fall back to the conventional path rather than emit a truncated
-    // header the far side would mis-parse.
+    // An installed — i.e. *planned* — route the SR header cannot carry
+    // (e.g. > kSrMaxHops). The planner promised this route; silently
+    // passing here would black-hole the TE decision while every counter
+    // reads healthy. Drop loudly instead: the plan/encap contract is the
+    // planner's to keep (TunnelOptions/SiteLpOptions::max_sr_hops), and a
+    // violation must surface as a drop, not as conventional routing.
     ++counters_.sr_serialize_errors;
-    verdict.action = TcVerdict::Action::kPass;
-    verdict.packet.assign(frame.begin(), frame.end());
-    ++counters_.egress_passed;
+    ++counters_.egress_route_drops;
+    verdict.action = TcVerdict::Action::kDropMalformed;
+    verdict.drop_reason = DropReason::kSrTooLong;
     return verdict;
   }
 
@@ -328,6 +334,8 @@ void HostStack::bind_metrics(obs::MetricsRegistry& registry,
   cell("egress_malformed", &c->egress_malformed);
   cell("egress_bad_ethernet", &c->egress_bad_ethernet);
   cell("egress_bad_ipv4", &c->egress_bad_ipv4);
+  cell("egress_no_route", &c->egress_no_route);
+  cell("egress_route_drops", &c->egress_route_drops);
   cell("ingress_decapsulated", &c->ingress_decapsulated);
   cell("ingress_not_vxlan", &c->ingress_not_vxlan);
   cell("ingress_malformed", &c->ingress_malformed);

@@ -90,6 +90,7 @@ enum class DropReason : std::uint8_t {
   kBadVxlan,       ///< truncated or invalid VXLAN header
   kBadSrHeader,    ///< SR flag set but header absent/corrupt
   kBadInner,       ///< decapsulated payload is not an Ethernet frame
+  kSrTooLong,      ///< installed (planned) route not encodable as SR header
 };
 
 /// Result of pushing one packet through the TC egress program.
@@ -110,6 +111,12 @@ struct DataplaneCounters {
   std::uint64_t egress_malformed = 0;
   std::uint64_t egress_bad_ethernet = 0;
   std::uint64_t egress_bad_ipv4 = 0;
+  /// kPass because no TE route was installed (conventional-TE fallback).
+  /// Disjoint from sr_serialize_errors, which is a *planned* route the SR
+  /// header cannot carry — that one drops (egress_route_drops), it does
+  /// not pass, so black-holed-by-encap traffic is visible.
+  std::uint64_t egress_no_route = 0;
+  std::uint64_t egress_route_drops = 0;  ///< planned route refused at encap
   // vtep_ingress outcomes.
   std::uint64_t ingress_decapsulated = 0;
   std::uint64_t ingress_not_vxlan = 0;

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "megate/lp/simplex.h"
 #include "megate/obs/metrics.h"
@@ -109,6 +110,18 @@ struct SolveReport {
   /// Telemetry of the incremental machinery (default-initialized when
   /// the call ran cold).
   IncrementalStats incremental;
+  /// Plan/encap contract audit (count_hop_budget_violations): allocations
+  /// the solve placed on tunnels exceeding SiteLpOptions::max_sr_hops.
+  /// Always 0 when the budget is unset. Non-zero means an internal bug
+  /// (stage 1 and residual repair both filter by the budget): the solve
+  /// fails loudly — solution.solved flips false, `error` is set, and the
+  /// "te.hop_budget_violations" counter is bumped — rather than handing
+  /// the dataplane routes it must refuse to encapsulate.
+  std::size_t hop_budget_violations = 0;
+  /// Human-readable failure description; empty on success.
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
 };
 
 class MegaTeSolver final : public Solver {
@@ -158,6 +171,7 @@ class MegaTeSolver final : public Solver {
   MegaTeOptions options_;
   double stage1_s_ = 0.0;
   double stage2_s_ = 0.0;
+  std::size_t hop_violations_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;
   std::size_t pool_threads_ = 0;
   IncrementalStats inc_stats_;

@@ -202,6 +202,13 @@ SolveReport MegaTeSolver::solve(const TeProblem& problem,
   report.stage1_seconds = stage1_s_;
   report.stage2_seconds = stage2_s_;
   report.incremental = inc_stats_;
+  report.hop_budget_violations = hop_violations_;
+  if (hop_violations_ > 0) {
+    report.error = "plan/encap contract violated: " +
+                   std::to_string(hop_violations_) +
+                   " allocation(s) exceed max_sr_hops=" +
+                   std::to_string(options_.site_lp.max_sr_hops);
+  }
   return report;
 }
 
@@ -521,12 +528,19 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
                 [](const Unassigned& a, const Unassigned& b) {
                   return a.demand > b.demand;
                 });
+      const std::uint32_t repair_budget = options_.site_lp.max_sr_hops;
       for (const Unassigned& u : left) {
         const topo::SitePair pair = pair_ids[u.pair_index];
         const auto& ts = tunnels.tunnels(pair.src, pair.dst);
         PairAllocation& alloc = sol.pairs.find(pair)->second;
         for (std::size_t t = 0; t < ts.size(); ++t) {
           if (!ts[t].alive(g)) continue;
+          // Repair walks *all* tunnels of the pair, including ones stage 1
+          // never saw — re-apply the hop budget or repair would reopen the
+          // plan/encap hole the stage-1 filter just closed.
+          if (repair_budget > 0 && ts[t].links.size() > repair_budget) {
+            continue;
+          }
           bool fits = true;
           for (topo::EdgeId e : ts[t].links) {
             if (residual[e] < u.demand) {
@@ -557,6 +571,23 @@ TeSolution MegaTeSolver::solve_impl(const TeProblem& problem,
   }
   sol.satisfied_gbps = satisfied;
   sol.solve_time_s = total_clock.elapsed_seconds();
+
+  // Plan/encap contract audit. Stage 1 and residual repair both filter by
+  // the budget, so a non-zero count here is an internal bug — fail loudly
+  // (solved=false + counter + SolveReport::error) instead of letting the
+  // dataplane discover it one refused encapsulation at a time.
+  hop_violations_ = 0;
+  if (options_.site_lp.max_sr_hops > 0) {
+    hop_violations_ = count_hop_budget_violations(
+        problem, sol, options_.site_lp.max_sr_hops);
+    if (hop_violations_ > 0) {
+      sol.solved = false;
+      if (reg != nullptr) {
+        reg->counter("te.hop_budget_violations").inc(hop_violations_);
+      }
+    }
+  }
+
   if (reg != nullptr) {
     reg->gauge("te.last.stage1_seconds").set(stage1_s_);
     reg->gauge("te.last.stage2_seconds").set(stage2_s_);

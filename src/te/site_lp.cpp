@@ -52,11 +52,15 @@ SiteLpResult solve_max_site_flow(
     // Collect tunnels that are alive and whose links all have capacity rows.
     std::vector<std::size_t> usable;
     for (std::size_t t = 0; t < ts.size(); ++t) {
-      bool ok = !ts[t].links.empty();
-      for (topo::EdgeId e : ts[t].links) {
-        if (link_row[e] == ~std::size_t{0}) {
-          ok = false;
-          break;
+      bool ok = !ts[t].links.empty() &&
+                (options.max_sr_hops == 0 ||
+                 ts[t].links.size() <= options.max_sr_hops);
+      if (ok) {
+        for (topo::EdgeId e : ts[t].links) {
+          if (link_row[e] == ~std::size_t{0}) {
+            ok = false;
+            break;
+          }
         }
       }
       if (ok) usable.push_back(t);
@@ -171,13 +175,19 @@ SiteLpResult solve_max_site_flow_clustered(
     if (b.estimated.empty()) b.estimated.assign(g.num_links(), 0.0);
     b.demands[pair] = demand;
     const auto& ts = tunnels.tunnels(pair.src, pair.dst);
+    // Mirror the per-bucket LP's admissibility (alive + hop budget) so the
+    // capacity partition never reserves headroom for unusable tunnels.
+    auto admissible = [&](const topo::Tunnel& t) {
+      return t.alive(g) && (options.max_sr_hops == 0 ||
+                            t.links.size() <= options.max_sr_hops);
+    };
     double wsum = 0.0;
     for (const auto& t : ts) {
-      if (t.alive(g)) wsum += 1.0 / t.weight;
+      if (admissible(t)) wsum += 1.0 / t.weight;
     }
     if (wsum <= 0.0) continue;
     for (const auto& t : ts) {
-      if (!t.alive(g)) continue;
+      if (!admissible(t)) continue;
       const double share = demand * (1.0 / t.weight) / wsum;
       for (topo::EdgeId e : t.links) {
         b.estimated[e] += share;

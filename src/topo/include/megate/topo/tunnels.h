@@ -2,10 +2,27 @@
 // Pre-established TE tunnels (the paper's T_k, Table 1).
 //
 // For every ordered site pair k the control plane pre-establishes up to
-// `tunnels_per_pair` link-disjoint-ish low-latency paths via Yen's
-// k-shortest-paths. Each tunnel carries the paper's weight w_t (derived
-// from its latency: higher latency -> larger weight), which both the
-// MaxSiteFlow objective and the FastSSP tunnel ordering consume.
+// `tunnels_per_pair` low-latency paths. Two selection backends exist:
+//
+//   - TunnelSelection::kKsp (default): Yen's k-shortest-paths per pair.
+//   - TunnelSelection::kCentrality: a middlepoint stage first picks a
+//     small group of high-betweenness sites (greedy group betweenness
+//     over the latency-shortest-path trees), then each pair's candidates
+//     are its direct latency- and hop-shortest paths plus <= 2-segment
+//     compositions through the selected middlepoints (on both metrics —
+//     the hop-shortest trees make coverage under a hop budget match
+//     Yen's enumeration). Comparable allocations with fewer tunnels,
+//     which directly shrinks every stage-1 LP.
+//
+// Both backends honor `max_sr_hops`: the SR header carries one u32 per
+// hop and the dataplane refuses to encapsulate over-long hop lists
+// (dataplane::kSrMaxHops), so the hop budget must be a *planning*
+// constraint, not a runtime surprise. A tunnel's SR hop count equals its
+// link count (one hop per traversed link).
+//
+// Each tunnel carries the paper's weight w_t (derived from its latency:
+// higher latency -> larger weight), which both the MaxSiteFlow objective
+// and the FastSSP tunnel ordering consume.
 
 #include <cstdint>
 #include <unordered_map>
@@ -13,6 +30,10 @@
 
 #include "megate/topo/graph.h"
 #include "megate/topo/shortest_path.h"
+
+namespace megate::obs {
+class MetricsRegistry;
+}
 
 namespace megate::topo {
 
@@ -41,10 +62,46 @@ struct SitePairHash {
   }
 };
 
+/// Which candidate-generation backend build_tunnels runs.
+enum class TunnelSelection : std::uint8_t {
+  kKsp,         ///< Yen's k-shortest-paths per pair (the original default)
+  kCentrality,  ///< group-betweenness middlepoints, <= 2 segments per tunnel
+};
+
 struct TunnelOptions {
   std::uint32_t tunnels_per_pair = 4;
-  /// Yen's spur search explores up to this many candidates per pair.
+  /// Yen's spur search explores up to this many candidates per pair; it
+  /// also bounds how many inadmissible paths the search may generate
+  /// while hunting for admissible ones under a hop budget.
   std::uint32_t max_candidates = 32;
+  /// Maximum SR hops (= links) a tunnel may have; 0 = unlimited. When
+  /// set, no built tunnel ever exceeds it, so every planned tunnel is
+  /// encodable by dataplane::SrHeader (whose own hard cap is
+  /// dataplane::kSrMaxHops = 32).
+  std::uint32_t max_sr_hops = 0;
+  /// Candidate selection backend (see TunnelSelection).
+  TunnelSelection selection = TunnelSelection::kKsp;
+  /// kCentrality: middlepoint group size; 0 = auto (~sqrt(sites), min 4).
+  std::uint32_t centrality_middlepoints = 0;
+  /// When set, build/repair bump the "topo.tunnels.*" counters on this
+  /// registry (pairs_built / pairs_unreachable / pairs_budget_excluded /
+  /// paths_budget_filtered). Must outlive the build call; not retained.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// What one build_tunnels / repair_tunnels call observed, kept on the
+/// TunnelSet so "no tunnels for this pair" is attributable: partitioned
+/// graph vs hop budget vs simply never requested.
+struct TunnelBuildStats {
+  std::size_t pairs_built = 0;        ///< pairs that got >= 1 tunnel
+  std::size_t pairs_unreachable = 0;  ///< no path at all (partitioned graph)
+  /// Reachable pairs where no path fit max_sr_hops — the hop budget, not
+  /// the topology, excluded them from planning.
+  std::size_t pairs_budget_excluded = 0;
+  /// Candidate paths discarded because they exceeded max_sr_hops.
+  std::size_t paths_budget_filtered = 0;
+  /// kCentrality: size of the selected middlepoint group (0 for kKsp).
+  std::size_t middlepoints = 0;
 };
 
 /// All tunnels of a topology, indexed by ordered site pair.
@@ -59,6 +116,10 @@ class TunnelSet {
   std::size_t num_pairs() const noexcept { return map_.size(); }
   std::size_t total_tunnels() const noexcept;
 
+  /// Cumulative build/repair telemetry (see TunnelBuildStats).
+  const TunnelBuildStats& stats() const noexcept { return stats_; }
+  TunnelBuildStats& mutable_stats() noexcept { return stats_; }
+
   /// Iteration support for benches/tests.
   const std::unordered_map<SitePair, std::vector<Tunnel>, SitePairHash>& all()
       const noexcept {
@@ -68,20 +129,37 @@ class TunnelSet {
  private:
   std::unordered_map<SitePair, std::vector<Tunnel>, SitePairHash> map_;
   std::vector<Tunnel> empty_;
+  TunnelBuildStats stats_;
 };
 
 /// Yen's K shortest loopless paths from src to dst (ascending latency).
+/// `max_hops` > 0 returns only paths of at most that many links; the
+/// search keeps generating candidates (bounded by `max_candidates`) until
+/// it has K admissible ones, so a pair whose latency-shortest path blows
+/// the budget can still yield admissible alternatives. Ties are broken
+/// deterministically on (latency, hop count, link-id sequence).
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
                                    std::uint32_t k,
-                                   std::uint32_t max_candidates = 32);
+                                   std::uint32_t max_candidates = 32,
+                                   std::uint32_t max_hops = 0);
 
-/// Builds tunnels for every ordered pair of distinct sites. Weights are the
-/// tunnel latency divided by the pair's shortest-path latency (so the best
-/// tunnel has weight 1.0), matching "w_t determined by the network latency".
+/// Greedy group-betweenness middlepoint selection over the up-link
+/// latency-shortest-path trees: repeatedly picks the site covering the
+/// most not-yet-covered (src, dst) shortest paths as an intermediate
+/// node. Deterministic (ties on node id). `count` = 0 picks the auto
+/// size (~sqrt(sites), min 4, capped at the site count).
+std::vector<NodeId> select_middlepoints(const Graph& g, std::uint32_t count);
+
+/// Builds tunnels for every ordered pair of distinct sites with the
+/// configured backend and hop budget. Weights are the tunnel latency
+/// divided by the pair's best built latency (so the best tunnel has
+/// weight 1.0), matching "w_t determined by the network latency".
 TunnelSet build_tunnels(const Graph& g, const TunnelOptions& options = {});
 
 /// Rebuilds tunnels for pairs whose tunnel lists lost members to link
-/// failures, keeping surviving tunnels' identities stable.
+/// failures, keeping surviving tunnels' identities stable. Uses the same
+/// backend/budget as `options`, so repaired tunnels keep the plan/encap
+/// contract.
 void repair_tunnels(const Graph& g, TunnelSet& tunnels,
                     const TunnelOptions& options = {});
 

@@ -12,7 +12,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct QueueItem {
   double dist;
   NodeId node;
-  bool operator>(const QueueItem& o) const noexcept { return dist > o.dist; }
+  // Equal distances pop in node-id order so the search (and the parent
+  // tree it leaves behind) never depends on heap internals.
+  bool operator>(const QueueItem& o) const noexcept {
+    if (dist != o.dist) return dist > o.dist;
+    return node > o.node;
+  }
 };
 
 }  // namespace
@@ -49,6 +54,12 @@ std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
         dist[l.dst] = nd;
         parent[l.dst] = e;
         pq.push({nd, l.dst});
+      } else if (nd == dist[l.dst] && d < dist[l.dst] &&
+                 e < parent[l.dst]) {
+        // Equal total distance: keep the canonical (smallest) parent edge.
+        // The d < dist guard (false only for zero-latency links) keeps
+        // parent chains strictly decreasing, i.e. acyclic.
+        parent[l.dst] = e;
       }
     }
   }

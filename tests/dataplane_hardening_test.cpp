@@ -151,7 +151,7 @@ TEST(SrHardening, OversizedHopCountNoLongerTruncatesSilently) {
   EXPECT_TRUE(b.empty());
 }
 
-TEST(SrHardening, EgressFallsBackOnUnencodableRoute) {
+TEST(SrHardening, EgressDropsLoudlyOnUnencodablePlannedRoute) {
   HostStack hs;
   const FiveTuple t = flow_tuple();
   hs.on_sys_enter_execve(1, 42);
@@ -159,10 +159,31 @@ TEST(SrHardening, EgressFallsBackOnUnencodableRoute) {
   std::vector<std::uint32_t> long_route(kSrMaxHops + 1, 4);
   hs.install_route(42, 9, long_route);
   auto v = hs.tc_egress(inner_frame(t), 0x0A0000FE);
-  // No truncated header on the wire: conventional pass-through instead.
-  EXPECT_EQ(v.action, TcVerdict::Action::kPass);
+  // The route was *installed* (planned), so a serialize failure must not
+  // silently pass as conventional traffic: it drops with its own reason
+  // and counter, visibly distinct from the no-route pass below.
+  EXPECT_EQ(v.action, TcVerdict::Action::kDropMalformed);
+  EXPECT_EQ(v.drop_reason, DropReason::kSrTooLong);
   EXPECT_EQ(hs.counters().sr_serialize_errors, 1u);
+  EXPECT_EQ(hs.counters().egress_route_drops, 1u);
   EXPECT_EQ(hs.counters().egress_encapsulated, 0u);
+  EXPECT_EQ(hs.counters().egress_passed, 0u);
+  EXPECT_EQ(hs.counters().egress_no_route, 0u);
+}
+
+TEST(SrHardening, EgressNoRoutePassIsCountedSeparately) {
+  HostStack hs;
+  const FiveTuple t = flow_tuple();
+  hs.on_sys_enter_execve(1, 42);
+  hs.on_conntrack_event(t, 1);
+  // No install_route: conventional pass-through, attributed to no_route —
+  // previously indistinguishable from the serialize-failure fallback.
+  auto v = hs.tc_egress(inner_frame(t), 0x0A0000FE);
+  EXPECT_EQ(v.action, TcVerdict::Action::kPass);
+  EXPECT_EQ(hs.counters().egress_passed, 1u);
+  EXPECT_EQ(hs.counters().egress_no_route, 1u);
+  EXPECT_EQ(hs.counters().egress_route_drops, 0u);
+  EXPECT_EQ(hs.counters().sr_serialize_errors, 0u);
 }
 
 // --- satellite 2: frag_map lifecycle ------------------------------------

@@ -1,0 +1,324 @@
+// SR hop budget as a planning constraint (the plan/encap contract).
+//
+// Four suites:
+//   - TunnelBudgetProperty: every tunnel a build produces under a budget
+//     round-trips through dataplane::SrHeader::serialize, fuzzed across
+//     seeds x budgets {3..8} x both selection backends. This is the
+//     end-to-end claim behind max_sr_hops: planning never emits a route
+//     the dataplane refuses to encapsulate.
+//   - KspDeterminism: Yen's output is a total order — equal-latency
+//     parallel paths tie-break on the link-id sequence, so rebuilds are
+//     byte-stable.
+//   - CentralityBackend: middlepoint selection is deterministic, its
+//     tunnels are loopless/contiguous/within budget, and its pair
+//     coverage under a budget matches the ksp backend's.
+//   - TunnelStats: "no tunnels for this pair" is attributable —
+//     unreachable vs budget-excluded — on the TunnelSet and through the
+//     metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "megate/dataplane/sr_header.h"
+#include "megate/obs/metrics.h"
+#include "megate/topo/generators.h"
+#include "megate/topo/graph.h"
+#include "megate/topo/tunnels.h"
+
+namespace megate::topo {
+namespace {
+
+/// The controller's tunnel -> SR hop list translation (one u32 site id
+/// per traversed link, ctrl/controller.cpp): what actually reaches
+/// SrHeader::serialize for a planned route.
+std::vector<std::uint32_t> hops_of(const Graph& g, const Tunnel& t) {
+  std::vector<std::uint32_t> hops;
+  hops.reserve(t.links.size());
+  for (EdgeId e : t.links) hops.push_back(g.link(e).dst);
+  return hops;
+}
+
+void expect_valid_tunnel(const Graph& g, NodeId src, NodeId dst,
+                         const Tunnel& t, std::uint32_t budget) {
+  ASSERT_FALSE(t.links.empty());
+  if (budget > 0) {
+    EXPECT_LE(t.links.size(), budget) << "tunnel exceeds max_sr_hops";
+  }
+  // Contiguous src -> dst walk with no repeated node.
+  EXPECT_EQ(g.link(t.links.front()).src, src);
+  EXPECT_EQ(g.link(t.links.back()).dst, dst);
+  std::set<NodeId> nodes{g.link(t.links.front()).src};
+  for (std::size_t i = 0; i < t.links.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(g.link(t.links[i]).src, g.link(t.links[i - 1]).dst);
+    }
+    EXPECT_TRUE(nodes.insert(g.link(t.links[i]).dst).second)
+        << "loop in tunnel";
+  }
+}
+
+// --- TunnelBudgetProperty ---------------------------------------------------
+
+TEST(TunnelBudgetProperty, EveryBuiltTunnelSerializesUnderBudget) {
+  for (const std::uint64_t seed : {7u, 19u, 101u}) {
+    GeneratorOptions gopt;
+    gopt.seed = seed;
+    const Graph g = make_isp_like(24, 40, gopt);
+    for (std::uint32_t budget = 3; budget <= 8; ++budget) {
+      for (const auto selection :
+           {TunnelSelection::kKsp, TunnelSelection::kCentrality}) {
+        TunnelOptions opt;
+        opt.max_sr_hops = budget;
+        opt.selection = selection;
+        const TunnelSet ts = build_tunnels(g, opt);
+        ASSERT_GT(ts.total_tunnels(), 0u);
+        for (const auto& [pair, tunnels] : ts.all()) {
+          for (const Tunnel& t : tunnels) {
+            expect_valid_tunnel(g, pair.src, pair.dst, t, budget);
+            dataplane::SrHeader hdr;
+            hdr.hops = hops_of(g, t);
+            dataplane::Buffer wire;
+            ASSERT_TRUE(hdr.serialize(wire))
+                << "planned tunnel refused by the dataplane (seed=" << seed
+                << " budget=" << budget << ")";
+            const auto parsed = dataplane::SrHeader::parse(
+                dataplane::ConstBytes(wire.data(), wire.size()));
+            ASSERT_TRUE(parsed.has_value());
+            EXPECT_EQ(parsed->hops, hdr.hops);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TunnelBudgetProperty, UnlimitedBudgetMatchesLegacyBuild) {
+  GeneratorOptions gopt;
+  gopt.seed = 13;
+  const Graph g = make_isp_like(16, 26, gopt);
+  const TunnelSet legacy = build_tunnels(g);
+  TunnelOptions opt;  // max_sr_hops = 0 (unlimited), kKsp
+  const TunnelSet budgeted = build_tunnels(g, opt);
+  ASSERT_EQ(legacy.num_pairs(), budgeted.num_pairs());
+  for (const auto& [pair, tunnels] : legacy.all()) {
+    const auto& other = budgeted.tunnels(pair.src, pair.dst);
+    ASSERT_EQ(tunnels.size(), other.size());
+    for (std::size_t i = 0; i < tunnels.size(); ++i) {
+      EXPECT_EQ(tunnels[i].links, other[i].links);
+    }
+  }
+}
+
+TEST(TunnelBudgetProperty, RepairKeepsTheBudget) {
+  GeneratorOptions gopt;
+  gopt.seed = 29;
+  Graph g = make_isp_like(20, 34, gopt);
+  TunnelOptions opt;
+  opt.max_sr_hops = 4;
+  TunnelSet ts = build_tunnels(g, opt);
+  // Fail the most-used link so repair has real work to do.
+  std::vector<std::size_t> uses(g.num_links(), 0);
+  for (const auto& [pair, tunnels] : ts.all()) {
+    for (const Tunnel& t : tunnels) {
+      for (EdgeId e : t.links) ++uses[e];
+    }
+  }
+  const EdgeId hot = static_cast<EdgeId>(
+      std::max_element(uses.begin(), uses.end()) - uses.begin());
+  g.set_link_state(hot, false);
+  repair_tunnels(g, ts, opt);
+  for (const auto& [pair, tunnels] : ts.all()) {
+    for (const Tunnel& t : tunnels) {
+      EXPECT_TRUE(t.alive(g));
+      EXPECT_LE(t.links.size(), 4u) << "repair broke the hop budget";
+    }
+  }
+}
+
+// --- KspDeterminism ---------------------------------------------------------
+
+/// Two nodes joined by three parallel equal-latency duplex links, plus an
+/// equal-latency two-hop detour: every path src->dst ties on latency, so
+/// only the deterministic tie-break orders them.
+Graph parallel_paths_graph() {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId m = g.add_node("m");
+  g.add_duplex_link(a, b, 100, 2.0);
+  g.add_duplex_link(a, b, 100, 2.0);
+  g.add_duplex_link(a, b, 100, 2.0);
+  g.add_duplex_link(a, m, 100, 1.0);
+  g.add_duplex_link(m, b, 100, 1.0);
+  return g;
+}
+
+TEST(KspDeterminism, EqualLatencyPathsOrderByHopsThenLinkIds) {
+  const Graph g = parallel_paths_graph();
+  const auto paths = k_shortest_paths(g, 0, 1, 8);
+  ASSERT_EQ(paths.size(), 4u);
+  for (const Path& p : paths) EXPECT_DOUBLE_EQ(p.latency_ms, 2.0);
+  // Ties break on hop count first (the three directs before the detour),
+  // then on the link-id sequence (ascending).
+  EXPECT_EQ(paths[0].hops(), 1u);
+  EXPECT_EQ(paths[1].hops(), 1u);
+  EXPECT_EQ(paths[2].hops(), 1u);
+  EXPECT_EQ(paths[3].hops(), 2u);
+  EXPECT_LT(paths[0].links, paths[1].links);
+  EXPECT_LT(paths[1].links, paths[2].links);
+}
+
+TEST(KspDeterminism, RepeatedBuildsAreByteStable) {
+  GeneratorOptions gopt;
+  gopt.seed = 17;
+  const Graph g = make_isp_like(18, 30, gopt);
+  for (const auto selection :
+       {TunnelSelection::kKsp, TunnelSelection::kCentrality}) {
+    TunnelOptions opt;
+    opt.selection = selection;
+    opt.max_sr_hops = 5;
+    const TunnelSet first = build_tunnels(g, opt);
+    const TunnelSet second = build_tunnels(g, opt);
+    ASSERT_EQ(first.num_pairs(), second.num_pairs());
+    for (const auto& [pair, tunnels] : first.all()) {
+      const auto& other = second.tunnels(pair.src, pair.dst);
+      ASSERT_EQ(tunnels.size(), other.size());
+      for (std::size_t i = 0; i < tunnels.size(); ++i) {
+        EXPECT_EQ(tunnels[i].links, other[i].links) << "nondeterministic";
+      }
+    }
+  }
+}
+
+// --- CentralityBackend ------------------------------------------------------
+
+TEST(CentralityBackend, MiddlepointSelectionIsDeterministicAndBounded) {
+  GeneratorOptions gopt;
+  gopt.seed = 23;
+  const Graph g = make_isp_like(30, 52, gopt);
+  const auto a = select_middlepoints(g, 5);
+  const auto b = select_middlepoints(g, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a.size(), 5u);
+  EXPECT_FALSE(a.empty());
+  std::set<NodeId> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), a.size()) << "duplicate middlepoint";
+  // Auto size (count = 0) is also deterministic and within the site count.
+  const auto autosel = select_middlepoints(g, 0);
+  EXPECT_EQ(autosel, select_middlepoints(g, 0));
+  EXPECT_LE(autosel.size(), g.num_nodes());
+}
+
+TEST(CentralityBackend, PairCoverageMatchesKspUnderBudget) {
+  for (const std::uint64_t seed : {11u, 37u}) {
+    GeneratorOptions gopt;
+    gopt.seed = seed;
+    const Graph g = make_isp_like(26, 44, gopt);
+    for (const std::uint32_t budget : {3u, 5u}) {
+      TunnelOptions ksp;
+      ksp.max_sr_hops = budget;
+      TunnelOptions cen = ksp;
+      cen.selection = TunnelSelection::kCentrality;
+      const TunnelSet kt = build_tunnels(g, ksp);
+      const TunnelSet ct = build_tunnels(g, cen);
+      for (const auto& [pair, tunnels] : kt.all()) {
+        if (tunnels.empty()) continue;
+        EXPECT_FALSE(ct.tunnels(pair.src, pair.dst).empty())
+            << "centrality missed pair (" << pair.src << "," << pair.dst
+            << ") that ksp covers at budget " << budget
+            << " (seed=" << seed << ")";
+      }
+      EXPECT_GT(ct.stats().middlepoints, 0u);
+      EXPECT_EQ(kt.stats().middlepoints, 0u);
+    }
+  }
+}
+
+TEST(CentralityBackend, TunnelsAreSortedDistinctAndCapped) {
+  GeneratorOptions gopt;
+  gopt.seed = 41;
+  const Graph g = make_isp_like(22, 38, gopt);
+  TunnelOptions opt;
+  opt.selection = TunnelSelection::kCentrality;
+  opt.tunnels_per_pair = 3;
+  const TunnelSet ts = build_tunnels(g, opt);
+  for (const auto& [pair, tunnels] : ts.all()) {
+    EXPECT_LE(tunnels.size(), 3u);
+    std::set<std::vector<EdgeId>> seen;
+    for (std::size_t i = 0; i < tunnels.size(); ++i) {
+      expect_valid_tunnel(g, pair.src, pair.dst, tunnels[i], 0);
+      EXPECT_TRUE(seen.insert(tunnels[i].links).second) << "duplicate";
+      if (i > 0) EXPECT_GE(tunnels[i].weight, tunnels[i - 1].weight);
+    }
+    if (!tunnels.empty()) {
+      EXPECT_DOUBLE_EQ(tunnels.front().weight, 1.0);
+    }
+  }
+}
+
+// --- TunnelStats ------------------------------------------------------------
+
+TEST(TunnelStats, UnreachablePairsAreCountedNotSilent) {
+  Graph g;  // two islands: a-b and c-d
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const NodeId d = g.add_node("d");
+  g.add_duplex_link(a, b, 10, 1.0);
+  g.add_duplex_link(c, d, 10, 1.0);
+  obs::MetricsRegistry reg;
+  TunnelOptions opt;
+  opt.metrics = &reg;
+  const TunnelSet ts = build_tunnels(g, opt);
+  EXPECT_EQ(ts.stats().pairs_built, 4u);        // a<->b, c<->d
+  EXPECT_EQ(ts.stats().pairs_unreachable, 8u);  // every cross-island pair
+  EXPECT_EQ(ts.stats().pairs_budget_excluded, 0u);
+  EXPECT_EQ(reg.counter("topo.tunnels.pairs_unreachable").value(), 8u);
+  EXPECT_EQ(reg.counter("topo.tunnels.pairs_built").value(), 4u);
+}
+
+TEST(TunnelStats, BudgetExclusionIsDistinctFromUnreachable) {
+  Graph g;  // line a-b-c-d: (a,d) needs 3 links
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const NodeId d = g.add_node("d");
+  g.add_duplex_link(a, b, 10, 1.0);
+  g.add_duplex_link(b, c, 10, 1.0);
+  g.add_duplex_link(c, d, 10, 1.0);
+  for (const auto selection :
+       {TunnelSelection::kKsp, TunnelSelection::kCentrality}) {
+    obs::MetricsRegistry reg;
+    TunnelOptions opt;
+    opt.max_sr_hops = 2;
+    opt.selection = selection;
+    opt.metrics = &reg;
+    const TunnelSet ts = build_tunnels(g, opt);
+    // (a,d) and (d,a) are reachable but cannot fit two links.
+    EXPECT_EQ(ts.stats().pairs_budget_excluded, 2u);
+    EXPECT_EQ(ts.stats().pairs_unreachable, 0u);
+    EXPECT_TRUE(ts.tunnels(a, d).empty());
+    EXPECT_FALSE(ts.tunnels(a, c).empty());
+    EXPECT_EQ(reg.counter("topo.tunnels.pairs_budget_excluded").value(), 2u);
+  }
+}
+
+TEST(TunnelStats, FilteredPathCounterTicksWhenBudgetBinds) {
+  GeneratorOptions gopt;
+  gopt.seed = 47;
+  const Graph g = make_isp_like(24, 40, gopt);
+  TunnelOptions opt;
+  opt.max_sr_hops = 3;
+  const TunnelSet tight = build_tunnels(g, opt);
+  opt.max_sr_hops = 0;
+  const TunnelSet loose = build_tunnels(g, opt);
+  EXPECT_GT(tight.stats().paths_budget_filtered, 0u);
+  EXPECT_EQ(loose.stats().paths_budget_filtered, 0u);
+  EXPECT_LE(tight.total_tunnels(), loose.total_tunnels());
+}
+
+}  // namespace
+}  // namespace megate::topo

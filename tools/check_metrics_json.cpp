@@ -9,6 +9,7 @@
 // BENCH_<name>.json, so a schema drift fails the build instead of
 // silently producing unreadable dashboards.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -81,6 +82,92 @@ std::vector<std::string> check_stage1_sweep(const megate::obs::Json& doc) {
   return violations;
 }
 
+/// Contract check for BENCH_ablation_tunnels.json — the hop-budget
+/// tunnel-selection frontier. Configurations are discovered from the
+/// "<topo>.<backend>.budget<N>.tunnels" gauges. For every discovered
+/// (topo, budget) the contract requires:
+///   - both backends present (ksp AND centrality),
+///   - hop_budget_violations == 0 (the plan/encap audit never fires
+///     when max_sr_hops is threaded through planning),
+///   - centrality satisfied_ratio >= ksp - 0.02 at finite budgets, and
+///   - on Cogentco* at budgets <= 5, strictly fewer centrality tunnels
+///     (the middlepoint stage must shrink stage 1's column count on a
+///     sparse WAN, not merely tie it).
+std::vector<std::string> check_ablation_tunnels(
+    const megate::obs::Json& doc) {
+  std::vector<std::string> violations;
+  const auto* gauges = doc.find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    violations.push_back("missing gauges object");
+    return violations;
+  }
+  auto gauge = [&](const std::string& name) {
+    const auto* g = gauges->find(name);
+    return (g != nullptr && g->is_number()) ? g : nullptr;
+  };
+  const std::string prefix = "ablation_tunnels.";
+  const std::string backend = ".ksp.budget";
+  const std::string tail = ".tunnels";
+  std::size_t configs = 0;
+  for (const auto& [name, value] : gauges->members()) {
+    // Match "ablation_tunnels.<topo>.ksp.budget<N>.tunnels" and derive
+    // the per-config key stems from it.
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t b = name.find(backend);
+    if (b == std::string::npos) continue;
+    if (name.size() <= tail.size() ||
+        name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+      continue;
+    }
+    ++configs;
+    const std::string topo = name.substr(prefix.size(), b - prefix.size());
+    const std::string budget_str = name.substr(
+        b + backend.size(), name.size() - tail.size() - b - backend.size());
+    const std::uint32_t budget =
+        static_cast<std::uint32_t>(std::stoul(budget_str));
+    const std::string ksp = prefix + topo + ".ksp.budget" + budget_str + ".";
+    const std::string cen =
+        prefix + topo + ".centrality.budget" + budget_str + ".";
+    const auto* cen_tunnels = gauge(cen + "tunnels");
+    if (cen_tunnels == nullptr) {
+      violations.push_back("missing gauge " + cen + "tunnels — centrality "
+                           "backend absent for this config");
+      continue;
+    }
+    for (const std::string& stem : {ksp, cen}) {
+      const auto* viol = gauge(stem + "hop_budget_violations");
+      if (viol == nullptr) {
+        violations.push_back("missing gauge " + stem +
+                             "hop_budget_violations");
+      } else if (viol->as_number() != 0.0) {
+        violations.push_back(stem + "hop_budget_violations must be 0 (a "
+                             "planned tunnel exceeded the SR hop budget)");
+      }
+    }
+    const auto* ksp_sat = gauge(ksp + "satisfied_ratio");
+    const auto* cen_sat = gauge(cen + "satisfied_ratio");
+    if (ksp_sat == nullptr || cen_sat == nullptr) {
+      violations.push_back("missing satisfied_ratio gauge under " + ksp +
+                           " or " + cen);
+      continue;
+    }
+    if (budget != 0 && cen_sat->as_number() < ksp_sat->as_number() - 0.02) {
+      violations.push_back(cen + "satisfied_ratio trails ksp by more than "
+                           "0.02 at budget " + budget_str);
+    }
+    if (topo.compare(0, 8, "Cogentco") == 0 && budget != 0 && budget <= 5 &&
+        cen_tunnels->as_number() >= value.as_number()) {
+      violations.push_back(cen + "tunnels must be strictly fewer than ksp "
+                           "on " + topo + " at budget " + budget_str);
+    }
+  }
+  if (configs == 0) {
+    violations.push_back("no ablation_tunnels.<topo>.ksp.budget<N>.tunnels "
+                         "gauges — tunnel-selection frontier missing");
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,9 +194,12 @@ int main(int argc, char** argv) {
     }
     auto violations = megate::obs::validate_metrics_json(*doc);
     const auto* source = doc->find("source");
-    if (violations.empty() && source != nullptr && source->is_string() &&
-        source->as_string() == "bench/ablation_stage1") {
-      violations = check_stage1_sweep(*doc);
+    if (violations.empty() && source != nullptr && source->is_string()) {
+      if (source->as_string() == "bench/ablation_stage1") {
+        violations = check_stage1_sweep(*doc);
+      } else if (source->as_string() == "bench/ablation_tunnels") {
+        violations = check_ablation_tunnels(*doc);
+      }
     }
     if (!violations.empty()) {
       for (const std::string& v : violations) {

@@ -6,6 +6,7 @@
 //   megate_cli solve --topo FILE | --kind KIND      run a TE solver
 //                    [--gml] [--endpoints N] [--load F]
 //                    [--solver megate|lpall|ncflow|teal] [--seed N]
+//                    [--max-sr-hops N] [--tunnel-selection ksp|centrality]
 //   megate_cli sync  --endpoints N                  Fig. 14 resource rows
 //   megate_cli chaos [--seed N] [--intervals N] [--sites N] [--links N]
 //                    [--endpoints N] [--shards N] [--quiet-tail S]
@@ -52,7 +53,9 @@ int usage(const char* msg = nullptr) {
       "  megate_cli info  --topo FILE [--gml]\n"
       "  megate_cli solve (--topo FILE [--gml] | --kind KIND)\n"
       "                   [--endpoints N] [--load F] [--solver NAME]\n"
-      "                   [--seed N] [--metrics-json FILE]\n"
+      "                   [--seed N] [--max-sr-hops N]\n"
+      "                   [--tunnel-selection ksp|centrality]\n"
+      "                   [--metrics-json FILE]\n"
       "  megate_cli sync  --endpoints N [--metrics-json FILE]\n"
       "  megate_cli chaos [--seed N] [--intervals N] [--sites N]\n"
       "                   [--links N] [--endpoints N] [--shards N]\n"
@@ -172,7 +175,23 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   const std::string solver_name =
       flags.contains("solver") ? flags.at("solver") : "megate";
 
-  topo::TunnelSet tunnels = topo::build_tunnels(*graph);
+  obs::MetricsRegistry registry;
+  // Hop budget + selection backend are planning knobs: every solver sees
+  // only admissible tunnels (the megate solver additionally re-checks the
+  // budget in stage 1 and audits the final plan).
+  topo::TunnelOptions topt;
+  topt.max_sr_hops =
+      static_cast<std::uint32_t>(flag_u64(flags, "max-sr-hops", 0));
+  topt.metrics = &registry;
+  const std::string selection =
+      flags.contains("tunnel-selection") ? flags.at("tunnel-selection")
+                                         : "ksp";
+  if (selection == "centrality") {
+    topt.selection = topo::TunnelSelection::kCentrality;
+  } else if (selection != "ksp") {
+    return usage("unknown --tunnel-selection (ksp|centrality)");
+  }
+  topo::TunnelSet tunnels = topo::build_tunnels(*graph, topt);
   auto layout =
       tm::generate_endpoints_with_total(*graph, endpoints, 0.8, seed);
   // Load is relative to routable capacity (capacity / mean hops).
@@ -191,11 +210,11 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   tm::TrafficMatrix traffic =
       tm::generate_traffic(*graph, layout, tmo, seed + 1);
 
-  obs::MetricsRegistry registry;
   std::unique_ptr<te::Solver> solver;
   if (solver_name == "megate") {
     te::MegaTeOptions mopt;
     mopt.metrics = &registry;
+    mopt.site_lp.max_sr_hops = topt.max_sr_hops;
     solver = std::make_unique<te::MegaTeSolver>(mopt);
   } else if (solver_name == "lpall") {
     solver = std::make_unique<te::LpAllSolver>();
