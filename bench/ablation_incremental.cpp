@@ -92,7 +92,7 @@ int main() {
     problem.traffic = &current;
 
     util::Stopwatch sw;
-    const te::TeSolution cold = cold_solver.solve(problem);
+    const te::TeSolution cold = cold_solver.solve(problem, {}).solution;
     const double tc = sw.elapsed_seconds();
     sw.reset();
     te::SolveContext sctx;

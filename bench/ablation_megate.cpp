@@ -32,7 +32,7 @@ int main() {
   std::size_t variant_idx = 0;
   auto run = [&](const std::string& name, const te::MegaTeOptions& opt) {
     te::MegaTeSolver solver(opt);
-    te::TeSolution sol = solver.solve(problem);
+    te::TeSolution sol = solver.solve(problem, {}).solution;
     const bool ok = te::check_solution(problem, sol).ok;
     t.add_row({name,
                util::Table::num(100.0 * sol.satisfied_ratio(), 1) + "%",

@@ -132,8 +132,8 @@ int main() {
     te::MegaTeOptions copt;
     copt.stage1_clusters = 4;
     te::MegaTeSolver contracted(copt);
-    auto sp = plain.solve(inst->problem());
-    auto sc = contracted.solve(inst->problem());
+    auto sp = plain.solve(inst->problem(), {}).solution;
+    auto sc = contracted.solve(inst->problem(), {}).solution;
     std::cout << "MegaTE end-to-end: plain "
               << util::Table::num(100 * sp.satisfied_ratio(), 1) << "% in "
               << util::Table::num(sp.solve_time_s, 2) << " s vs contracted "

@@ -60,7 +60,7 @@ int main() {
   te::NcFlowSolver ncflow;
   te::TealSolver teal;
 
-  te::TeSolution mega_sol = megate.solve(problem);
+  te::TeSolution mega_sol = megate.solve(problem, {}).solution;
   te::TeSolution nc_sol = ncflow.solve(problem);
   te::TeSolution teal_sol = teal.solve(problem);
   te::assign_flows_by_hash(problem, nc_sol, 20240804);

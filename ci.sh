@@ -84,9 +84,11 @@ run_metrics_json_check() {
     ../bench/fig17_cost >/dev/null &&
     ../bench/ablation_stage1 >/dev/null &&
     ../bench/ablation_tunnels >/dev/null &&
+    ../bench/online_churn >/dev/null &&
     ../bench/micro_kvstore --benchmark_filter=skip_all >/dev/null 2>&1)
   # check_metrics_json additionally enforces the per-bench contracts
-  # (stage-1 thread sweep, tunnel-selection hop-budget frontier).
+  # (stage-1 thread sweep, tunnel-selection hop-budget frontier, online
+  # churn regret/violation bars).
   ./build/tools/check_metrics_json "$out"/*.json
 }
 
@@ -141,6 +143,13 @@ ASAN_FILTER+=':Packing.*:PackingInvariants.*'
 # over preallocated trees is ASan territory.
 ASAN_FILTER+=':TunnelBudgetProperty.*:KspDeterminism.*'
 ASAN_FILTER+=':CentralityBackend.*:TunnelStats.*'
+# Online intra-interval TE (tests/online_test.cpp): DemandStream appends
+# flows at recorded tail indices and the allocator patches index-aligned
+# reservation vectors in place while snapshots copy them — stale-index
+# and iterator-invalidation bugs are ASan territory, and the invariant
+# audit replays every event kind.
+ASAN_FILTER+=':DemandStreamTest.*:OnlineAllocatorTest.*'
+ASAN_FILTER+=':OnlineDifferential.*:PeriodSimChurnTest.*:ChaosChurnTest.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -173,6 +182,10 @@ TSAN_FILTER+=':NetctrlAcceptanceTest.*'
 # suite sweeps thread counts — any missed synchronization in the
 # tile-merge order shows up here as a data race.
 TSAN_FILTER+=':Stage1Differential.*:Stage1Parallel.*'
+# OnlineAllocator snapshots race apply() by design (publisher thread vs
+# event thread, serialized on the internal mutex) — the concurrency
+# suite drives exactly that interleaving.
+TSAN_FILTER+=':OnlineConcurrency.*'
 
 run_tsan() {
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -37,7 +37,7 @@ int main() {
   te::MegaTeSolver solver;
 
   // --- steady state ------------------------------------------------------
-  te::TeSolution before = solver.solve(problem);
+  te::TeSolution before = solver.solve(problem, {}).solution;
   std::cout << "Steady state: "
             << util::Table::num(100 * before.satisfied_ratio(), 1)
             << "% of demand satisfied ("
@@ -50,7 +50,7 @@ int main() {
             << "/" << wan.num_links() << "\n";
 
   topo::repair_tunnels(wan, tunnels);  // re-run Yen for affected pairs
-  te::TeSolution after = solver.solve(problem);
+  te::TeSolution after = solver.solve(problem, {}).solution;
   std::cout << "Recomputed: "
             << util::Table::num(100 * after.satisfied_ratio(), 1)
             << "% satisfied in " << util::Table::num(after.solve_time_s, 2)

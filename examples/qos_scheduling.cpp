@@ -65,13 +65,13 @@ int main() {
 
   // 1. MegaTE with QoS sequencing (the paper's design).
   te::MegaTeSolver megate;
-  te::TeSolution seq = megate.solve(problem);
+  te::TeSolution seq = megate.solve(problem, {}).solution;
 
   // 2. Ablation: same solver, one joint QoS-blind pass.
   te::MegaTeOptions flat_opt;
   flat_opt.qos_sequencing = false;
   te::MegaTeSolver flat(flat_opt);
-  te::TeSolution joint = flat.solve(problem);
+  te::TeSolution joint = flat.solve(problem, {}).solution;
 
   // 3. Conventional TE: aggregated LP split + five-tuple hashing.
   te::LpAllSolver lp_all;

@@ -17,6 +17,8 @@
 #include "megate/net/tcp_transport.h"
 #include "megate/te/checker.h"
 #include "megate/te/megate_solver.h"
+#include "megate/te/online_allocator.h"
+#include "megate/tm/demand_stream.h"
 #include "megate/tm/traffic.h"
 #include "megate/topo/generators.h"
 #include "megate/topo/tunnels.h"
@@ -43,18 +45,38 @@ std::string time_tag(double t) {
   return buf;
 }
 
+/// Per-pair, flow-index-aligned carriage caps: under churn the matrix
+/// demand can outgrow what the control plane reserved, so the policing
+/// view (carried = min(demand, reservation)) is what drives link usage —
+/// exactly the data-plane rate limiting the reservations model implies.
+using PoliceMap = std::unordered_map<topo::SitePair, std::vector<double>,
+                                     topo::SitePairHash>;
+
 /// Data-plane view of the agents' installed tables: per-link usage of the
 /// demand whose full source-routed path is currently up. Returns the max
 /// utilization and fills `routed_gbps` with the demand actually carried.
+/// `police` (nullable) caps each flow's carried rate at its reservation.
 double installed_utilization(
     const topo::Graph& graph, const tm::TrafficMatrix& traffic,
     const std::unordered_map<std::uint64_t, const ctrl::EndpointAgent*>&
         agents,
-    double* routed_gbps) {
+    const PoliceMap* police, double* routed_gbps) {
   std::vector<double> usage(graph.num_links(), 0.0);
   double routed = 0.0;
   for (const auto& [pair, flows] : traffic.pairs()) {
-    for (const tm::EndpointDemand& f : flows) {
+    const std::vector<double>* caps = nullptr;
+    if (police != nullptr) {
+      auto pit = police->find(pair);
+      caps = pit != police->end() ? &pit->second : nullptr;
+    }
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      const tm::EndpointDemand& f = flows[fi];
+      double rate = f.demand_gbps;
+      if (police != nullptr) {
+        rate = std::min(
+            rate, caps != nullptr && fi < caps->size() ? (*caps)[fi] : 0.0);
+      }
+      if (rate <= 0.0) continue;
       auto it = agents.find(f.src);
       if (it == agents.end()) continue;
       const auto& hops = it->second->hops_for(f.src, pair.dst);
@@ -80,8 +102,8 @@ double installed_utilization(
         u = h;
       }
       if (!alive) continue;  // blackholed until the agent re-syncs
-      routed += f.demand_gbps;
-      for (topo::EdgeId e : path) usage[e] += f.demand_gbps;
+      routed += rate;
+      for (topo::EdgeId e : path) usage[e] += rate;
     }
   }
   double max_util = 0.0;
@@ -229,9 +251,16 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   tmo.flows_per_endpoint = 1.5;
   tmo.target_total_gbps =
       tm::total_link_capacity_gbps(graph) * options.load;
-  const tm::TrafficMatrix traffic =
+  tm::TrafficMatrix traffic =
       tm::generate_traffic(graph, layout, tmo, options.scenario_seed + 1);
-  const double total_demand = traffic.total_demand_gbps();
+  double total_demand = traffic.total_demand_gbps();
+
+  // Demand churn timeline over the whole run (empty when disabled).
+  tm::ChurnOptions churn_opt = options.churn;
+  churn_opt.horizon_s =
+      static_cast<double>(options.intervals) * options.interval_s;
+  tm::DemandStream churn_stream =
+      tm::DemandStream::generate(traffic, churn_opt);
 
   // The controller plans against derated capacities (solve_headroom);
   // the injector and the installed-routes check see real capacities.
@@ -335,6 +364,40 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   double last_satisfied = 0.0;
   double last_solution_util = 0.0;
 
+  // Online patching between full solves (ISSUE 9). The allocator plans
+  // on the derated solver graph, so patched routes keep the mixed-state
+  // safety argument; hop budget mirrors the stage-1 filter.
+  const bool churn_enabled = !churn_stream.empty();
+  te::OnlineOptions oopt;
+  oopt.max_sr_hops = options.site_lp.max_sr_hops;
+  oopt.resolve_drift_fraction = options.online_resolve_drift;
+  oopt.metrics = options.metrics;
+  te::OnlineAllocator allocator(oopt);
+  // Policing caps for the installed-routes view: under churn, carried
+  // traffic is min(demand, reservation). Rebuilt at every publish.
+  PoliceMap police;
+  // Problem/tunnels live at loop scope so patched publishes between
+  // solves reuse the last solve's topology view.
+  topo::TunnelSet repaired;
+  te::TeProblem problem;
+  problem.graph = &solver_graph;
+  problem.tunnels = &repaired;
+  problem.traffic = &traffic;
+
+  auto rebuild_police = [&](const te::TeSolution& sol) {
+    police.clear();
+    for (const auto& [pair, flows] : traffic.pairs()) {
+      auto it = sol.pairs.find(pair);
+      std::vector<double>& caps = police[pair];
+      caps.assign(flows.size(), 0.0);
+      if (it == sol.pairs.end()) continue;
+      const auto& ft = it->second.flow_tunnel;
+      for (std::size_t i = 0; i < flows.size() && i < ft.size(); ++i) {
+        if (ft[i] >= 0) caps[i] = flows[i].demand_gbps;
+      }
+    }
+  };
+
   auto solve_and_publish = [&](double now_s, IntervalStats& stats) {
     // Mirror the real graph's link states onto the derated solver view.
     for (topo::EdgeId e = 0; e < graph.num_links(); ++e) {
@@ -342,12 +405,8 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     }
     // Rebuild dead tunnels against the current topology; surviving tunnel
     // identities stay stable so unaffected routes do not churn.
-    topo::TunnelSet repaired = pristine;
+    repaired = pristine;
     topo::repair_tunnels(solver_graph, repaired);
-    te::TeProblem problem;
-    problem.graph = &solver_graph;
-    problem.tunnels = &repaired;
-    problem.traffic = &traffic;
     te::SolveContext sctx;
     sctx.incremental = options.incremental_solve;
     const te::SolveReport solved = solver.solve(problem, sctx);
@@ -376,6 +435,36 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     ++stats.resolves;
     last_satisfied = sol.satisfied_ratio();
     last_solution_util = check.max_link_utilization;
+    if (churn_enabled) {
+      if (options.online_patch) allocator.rebase(problem, sol);
+      rebuild_police(sol);
+    }
+  };
+
+  // Applies every churn event due at `now_s`: the believed matrix moves,
+  // and with online_patch the allocator re-fits reservations and the
+  // patched routes are published immediately (a full re-solve fires once
+  // drift crosses the threshold).
+  auto drain_churn = [&](double now_s, IntervalStats& stats) {
+    while (const tm::DemandEvent* ev = churn_stream.next_due(now_s)) {
+      tm::DemandStream::apply(*ev, traffic);
+      report.churn_log.push_back(ev->to_log());
+      tm::DemandStream::note_event(reg, *ev);
+      total_demand = traffic.total_demand_gbps();
+      ++stats.churn_events;
+      if (!options.online_patch) continue;
+      const te::PatchResult pr = allocator.apply(*ev);
+      const te::TeSolution patched = allocator.snapshot();
+      controller.publish_solution(problem, patched);
+      ++report.counters.publishes;
+      report.counters.publish_upserts += controller.last_publish_upserts();
+      report.counters.publish_erases += controller.last_publish_erases();
+      report.counters.publish_delta_bytes +=
+          controller.last_publish_bytes();
+      ++stats.online_patches;
+      police = allocator.reservations();
+      if (pr.resolve_recommended) solve_and_publish(now_s, stats);
+    }
   };
 
   // --- the chaos loop -----------------------------------------------------
@@ -390,6 +479,12 @@ ChaosReport run_chaos(const ChaosOptions& options) {
 
     injector.advance_to(t0);
     (void)injector.take_topology_changed();  // this solve sees the change
+    if (churn_enabled) {
+      // Events due at the boundary land before the solve: the boundary
+      // solve measures the churned truth (the believed/actual gap opens
+      // with the first mid-interval event instead).
+      drain_churn(t0, stats);
+    }
     solve_and_publish(t0, stats);
 
     double routed_sum = 0.0;
@@ -400,11 +495,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
       if (options.react_to_failures && injector.take_topology_changed()) {
         solve_and_publish(t, stats);
       }
+      if (churn_enabled) drain_churn(t, stats);
       for (auto& a : agents) a.tick(t);
 
       double routed = 0.0;
-      const double util =
-          installed_utilization(graph, traffic, by_id, &routed);
+      const double util = installed_utilization(
+          graph, traffic, by_id, churn_enabled ? &police : nullptr,
+          &routed);
       stats.installed_max_utilization =
           std::max(stats.installed_max_utilization, util);
       if (util > overload_limit) {
@@ -486,6 +583,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   }
   h = fnv1a(h, &report.final_version, sizeof(report.final_version));
   for (const std::string& v : report.violations) h = fnv1a(h, v);
+  // Churn timeline last: empty without churn, so churn-free fingerprints
+  // are unchanged from the pre-churn harness.
+  for (const std::string& c : report.churn_log) h = fnv1a(h, c);
   report.fingerprint = h;
 
   // --- freeze run totals into the registry --------------------------------
@@ -543,6 +643,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     }
     reg->counter("chaos.violations").inc(report.violations.size());
     reg->counter("chaos.fault_events").inc(report.event_log.size());
+    reg->counter("chaos.churn_events").inc(report.churn_log.size());
     reg->gauge("chaos.converged_within_k")
         .set(report.converged_within_k ? 1.0 : 0.0);
     reg->gauge("chaos.final_version")

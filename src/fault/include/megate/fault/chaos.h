@@ -31,6 +31,7 @@
 #include "megate/ctrl/telemetry.h"
 #include "megate/fault/fault_plan.h"
 #include "megate/te/site_lp.h"
+#include "megate/tm/demand_stream.h"
 
 namespace megate::fault {
 
@@ -113,6 +114,27 @@ struct ChaosOptions {
   /// the report fingerprint is invariant (DESIGN.md §12).
   te::SiteLpOptions site_lp;
 
+  // --- demand churn (ISSUE 9) ---------------------------------------------
+  /// Mid-interval demand churn: a tm::DemandStream is generated against
+  /// the scenario's traffic matrix and drained tick by tick, so faults
+  /// and churn strike in the same intervals. The stream's horizon is
+  /// always the full run (intervals * interval_s); churn.horizon_s is
+  /// ignored. All-zero event counts (the default) leave the loop — and
+  /// every golden fingerprint — byte-identical. Churn events land in
+  /// ChaosReport::churn_log and the fingerprint.
+  tm::ChurnOptions churn;
+  /// Patch the standing solution per churn event with a
+  /// te::OnlineAllocator (rebased on every full publish) and publish the
+  /// patched routes; without it churn only moves the offered traffic and
+  /// the boundary solves go stale against it. The allocator plans
+  /// against the same derated (solve_headroom) capacities as the solver
+  /// and inherits site_lp.max_sr_hops, so patched routes keep both the
+  /// mixed-state safety argument and the plan/encap contract.
+  bool online_patch = false;
+  /// Drift fraction (of solve-time demand) that triggers an early full
+  /// re-solve when online_patch is on (te::OnlineOptions threshold).
+  double online_resolve_drift = 0.25;
+
   // --- invariants ---------------------------------------------------------
   /// K: intervals allowed for full convergence after the last fault.
   std::size_t convergence_intervals = 3;
@@ -149,11 +171,18 @@ struct IntervalStats {
   double routed_demand_ratio = 0.0;
   std::size_t agents_converged = 0;
   std::size_t agents_total = 0;
+  /// Churn telemetry (zero without ChaosOptions::churn).
+  std::size_t churn_events = 0;
+  std::size_t online_patches = 0;  ///< patched publishes this interval
 };
 
 struct ChaosReport {
   std::vector<std::string> event_log;    ///< injector activations
   std::vector<std::string> violations;   ///< empty on a healthy run
+  /// Applied churn events (tm::DemandEvent::to_log lines, in order).
+  /// Feeds the fingerprint; empty without churn, so golden fingerprints
+  /// of churn-free runs are unchanged.
+  std::vector<std::string> churn_log;
   std::vector<IntervalStats> intervals;
   ctrl::ControlCounters counters;
   ctrl::Version final_version = 0;

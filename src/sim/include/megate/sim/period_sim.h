@@ -7,18 +7,35 @@
 //   kStale     — solve on the previous period's measurement (deployed
 //                MegaTE behaviour, "weak coupling")
 //   kPredicted — solve on a FlowPredictor estimate (EWMA)
-//   kOracle    — solve on the next period's true demand (upper bound)
+//   kOracle    — solve on the period-start true demand (upper bound)
 //
 // Realized satisfaction: a flow assigned to a tunnel has a reservation
 // equal to the demand the solver believed; it carries
 // min(reservation, actual demand) of the actual traffic. Unpredicted or
 // unassigned flows carry nothing.
+//
+// Intra-period churn (ISSUE 9): PeriodSimOptions::churn generates a
+// tm::DemandStream per period (seed mixed with the period index) against
+// that period's actual matrix, so measured and believed demand diverge
+// *within* a period, not just across boundaries. With `online` set, a
+// te::OnlineAllocator patches the standing reservations per event
+// (topping up / moving / shedding on residual capacity) and triggers an
+// early mid-period full re-solve once drift crosses the configured
+// threshold; without it the boundary solve simply goes stale against the
+// churned truth.
+//
+// API note: there is one entry point, taking a mutable graph (faults
+// strike it in place and it is restored before returning). The const
+// overload is a thin compat shim for fault-free callers and throws when
+// options request graph mutation.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "megate/te/megate_solver.h"
+#include "megate/te/online_allocator.h"
+#include "megate/tm/demand_stream.h"
 #include "megate/tm/prediction.h"
 #include "megate/tm/traffic.h"
 #include "megate/topo/tunnels.h"
@@ -58,6 +75,18 @@ struct PeriodSimOptions {
   /// PeriodOutcome::incremental. Link faults invalidate the retained
   /// state via the solver's topology fingerprint.
   bool incremental = false;
+  /// Mid-period demand churn (disabled by default): the per-period
+  /// DemandStream timeline. churn.seed is mixed with the period index so
+  /// every period gets its own deterministic schedule over
+  /// churn.horizon_s.
+  tm::ChurnOptions churn;
+  /// Patch reservations per churn event with a te::OnlineAllocator
+  /// (rebased on every boundary solve) instead of letting the boundary
+  /// solve go stale within the period. Ignored without churn.
+  bool online = false;
+  /// Allocator knobs for `online` (headroom, hop budget, drift-triggered
+  /// early re-solve threshold). The metrics pointer is honoured.
+  te::OnlineOptions online_options;
 };
 
 struct PeriodOutcome {
@@ -69,27 +98,36 @@ struct PeriodOutcome {
   /// Solver telemetry of this period's incremental solve;
   /// default-initialized when PeriodSimOptions::incremental is off.
   te::IncrementalStats incremental;
+  /// Churn telemetry (all zero without PeriodSimOptions::churn).
+  std::size_t churn_events = 0;
+  double churn_delta_gbps = 0.0;  ///< sum of |demand movement| mid-period
+  /// Online-allocator telemetry (all zero without `online`).
+  double online_admitted_gbps = 0.0;
+  double online_shed_gbps = 0.0;
+  std::size_t online_resolves = 0;  ///< drift-triggered mid-period solves
 
   double realized_satisfied() const noexcept {
     return actual_total_gbps > 0.0 ? carried_gbps / actual_total_gbps : 0.0;
   }
 };
 
-/// Evolves `base` over the configured periods and runs the MegaTE solver
-/// under the given knowledge model. Deterministic in options.seed (the
-/// demand evolution is identical across knowledge models for a fixed
-/// seed, so outcomes are directly comparable). options.link_faults must
-/// be empty in this const-graph overload (throws otherwise).
+/// The one entry point: evolves `base` over the configured periods and
+/// runs the MegaTE solver under the given knowledge model. Deterministic
+/// in options.seed / options.churn.seed (the demand evolution is
+/// identical across knowledge models for a fixed seed, so outcomes are
+/// directly comparable). Faults strike `graph` in place (with tunnels
+/// repaired for the degraded periods); the graph is restored before
+/// returning.
 std::vector<PeriodOutcome> run_period_simulation(
-    const topo::Graph& graph, const topo::TunnelSet& tunnels,
+    topo::Graph& graph, const topo::TunnelSet& tunnels,
     const tm::TrafficMatrix& base, DemandKnowledge knowledge,
     const PeriodSimOptions& options = {});
 
-/// Fault-capable overload: honours options.link_faults by failing links in
-/// place (via topo::inject_link_failures) and repairing tunnels for the
-/// degraded periods. The graph is restored before returning.
-std::vector<PeriodOutcome> run_period_simulation_with_faults(
-    topo::Graph& graph, const topo::TunnelSet& tunnels,
+/// Compat shim for const-graph callers: valid only for configurations
+/// that never mutate the graph (throws std::invalid_argument when
+/// options.link_faults is non-empty). Prefer the mutable overload.
+std::vector<PeriodOutcome> run_period_simulation(
+    const topo::Graph& graph, const topo::TunnelSet& tunnels,
     const tm::TrafficMatrix& base, DemandKnowledge knowledge,
     const PeriodSimOptions& options = {});
 

@@ -79,6 +79,23 @@ std::unordered_map<FlowKey, double, FlowKeyHash> reservations(
   return out;
 }
 
+/// (src, dst) -> the online allocator's current reservations, looked up
+/// against the evolved matrix for flow identities.
+std::unordered_map<FlowKey, double, FlowKeyHash> allocator_reservations(
+    const tm::TrafficMatrix& evolved, const te::OnlineAllocator& alloc) {
+  std::unordered_map<FlowKey, double, FlowKeyHash> out;
+  for (const auto& [pair, rv] : alloc.reservations()) {
+    auto it = evolved.pairs().find(pair);
+    if (it == evolved.pairs().end()) continue;
+    const auto& flows = it->second;
+    for (std::size_t i = 0; i < flows.size() && i < rv.size(); ++i) {
+      if (rv[i] <= 0.0) continue;
+      out[FlowKey{flows[i].src, flows[i].dst}] += rv[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(DemandKnowledge k) noexcept {
@@ -96,21 +113,25 @@ std::vector<PeriodOutcome> run_period_simulation(
     const PeriodSimOptions& options) {
   if (!options.link_faults.empty()) {
     throw std::invalid_argument(
-        "link_faults require the mutable-graph overload "
-        "(run_period_simulation_with_faults)");
+        "link_faults mutate the graph: the const-graph compat shim "
+        "cannot honour them — call run_period_simulation with a mutable "
+        "graph");
   }
   // No faults -> the graph is never mutated; share the implementation.
-  return run_period_simulation_with_faults(
-      const_cast<topo::Graph&>(graph), tunnels, base, knowledge, options);
+  return run_period_simulation(const_cast<topo::Graph&>(graph), tunnels,
+                               base, knowledge, options);
 }
 
-std::vector<PeriodOutcome> run_period_simulation_with_faults(
+std::vector<PeriodOutcome> run_period_simulation(
     topo::Graph& graph, const topo::TunnelSet& tunnels,
     const tm::TrafficMatrix& base, DemandKnowledge knowledge,
     const PeriodSimOptions& options) {
   tm::FlowPredictor predictor(tm::PredictorKind::kEwma, options.ewma_alpha);
 
   te::MegaTeSolver solver;
+  te::OnlineAllocator allocator(options.online_options);
+  const bool churn = options.churn.enabled();
+  const bool online = churn && options.online;
   std::vector<PeriodOutcome> outcomes;
   tm::TrafficMatrix previous = base;
   predictor.observe(previous);
@@ -151,7 +172,10 @@ std::vector<PeriodOutcome> run_period_simulation_with_faults(
 
     const tm::TrafficMatrix actual = materialize(base, period, options);
 
-    // What the controller believes the next period looks like.
+    // What the controller believes the next period looks like. Note the
+    // oracle sees the *period-start* truth: intra-period churn is beyond
+    // every boundary-solve knowledge model — that gap is exactly what
+    // the online allocator closes.
     tm::TrafficMatrix believed;
     switch (knowledge) {
       case DemandKnowledge::kStale: believed = previous; break;
@@ -168,14 +192,46 @@ std::vector<PeriodOutcome> run_period_simulation_with_faults(
     const te::SolveReport solved = solver.solve(problem, sctx);
     const te::TeSolution& sol = solved.solution;
 
-    // Realized carriage against the actual traffic.
-    const auto reserved = reservations(believed, sol);
     PeriodOutcome out;
     out.period = period;
     out.solve_time_s = sol.solve_time_s;
     if (options.incremental) out.incremental = solved.incremental;
-    std::unordered_map<FlowKey, double, FlowKeyHash> budget = reserved;
-    for (const auto& [pair, flows] : actual.pairs()) {
+
+    // The measured truth over the period: starts at `actual`, churns
+    // through this period's event timeline.
+    tm::TrafficMatrix evolving = actual;
+    if (churn) {
+      tm::ChurnOptions copt = options.churn;
+      copt.seed = options.churn.seed ^
+                  (0x9E3779B97F4A7C15ULL * (period + 1));
+      const tm::DemandStream stream =
+          tm::DemandStream::generate(actual, copt);
+      if (online) allocator.rebase(problem, sol);
+      for (const tm::DemandEvent& ev : stream.events()) {
+        tm::DemandStream::apply(ev, evolving);
+        ++out.churn_events;
+        out.churn_delta_gbps += ev.delta_gbps();
+        if (!online) continue;
+        const te::PatchResult pr = allocator.apply(ev);
+        out.online_admitted_gbps += pr.admitted_gbps;
+        out.online_shed_gbps += pr.shed_gbps;
+        if (pr.resolve_recommended) {
+          // Drift crossed the threshold: early full re-solve on the
+          // measured (evolved) truth, then keep patching from there.
+          te::TeProblem mid = problem;
+          mid.traffic = &evolving;
+          const te::SolveReport re = solver.solve(mid, sctx);
+          out.solve_time_s += re.solution.solve_time_s;
+          allocator.rebase(mid, re.solution);
+          ++out.online_resolves;
+        }
+      }
+    }
+
+    // Realized carriage against the measured truth.
+    auto budget = online ? allocator_reservations(evolving, allocator)
+                         : reservations(believed, sol);
+    for (const auto& [pair, flows] : evolving.pairs()) {
       for (const tm::EndpointDemand& f : flows) {
         out.actual_total_gbps += f.demand_gbps;
         auto it = budget.find(FlowKey{f.src, f.dst});
@@ -186,16 +242,16 @@ std::vector<PeriodOutcome> run_period_simulation_with_faults(
       }
     }
     if (knowledge == DemandKnowledge::kPredicted) {
-      out.prediction_mape = predictor.mape(actual);
+      out.prediction_mape = predictor.mape(evolving);
     } else if (knowledge == DemandKnowledge::kStale) {
       tm::FlowPredictor last(tm::PredictorKind::kLastValue);
       last.observe(previous);
-      out.prediction_mape = last.mape(actual);
+      out.prediction_mape = last.mape(evolving);
     }
     outcomes.push_back(out);
 
-    predictor.observe(actual);
-    previous = actual;
+    predictor.observe(evolving);
+    previous = evolving;
   }
   for (const ActiveFault& a : active) topo::restore_failures(graph, a.events);
   return outcomes;

@@ -44,7 +44,7 @@ TEST(LpAll, MatchesSiteLevelOptimumOnAggregate) {
   LpAllSolver lp_all;
   MegaTeSolver megate;
   TeSolution frac = lp_all.solve(s->problem());
-  TeSolution integral = megate.solve(s->problem());
+  TeSolution integral = megate.solve(s->problem(), {}).solution;
   // MegaTE (indivisible flows) can never beat the fractional optimum.
   EXPECT_LE(integral.satisfied_gbps, frac.satisfied_gbps * 1.02 + 1e-6);
   // ...but should be close (the paper: 88.1% vs 88.2% on B4*).
@@ -188,7 +188,7 @@ TEST(HashAssign, QosBlindMixing) {
 TEST(LatencyMetrics, HopsAndMsConsistent) {
   auto s = make_scenario(6, 10, 15, 0.2);
   MegaTeSolver megate;
-  TeSolution sol = megate.solve(s->problem());
+  TeSolution sol = megate.solve(s->problem(), {}).solution;
   const double ms = mean_latency_ms(s->problem(), sol, 0);
   const double hops = mean_latency_hops(s->problem(), sol, 0);
   EXPECT_GT(ms, 0.0);
@@ -198,7 +198,7 @@ TEST(LatencyMetrics, HopsAndMsConsistent) {
 TEST(LatencyMetrics, Class1NotWorseThanClass3UnderMegaTe) {
   auto s = make_scenario(10, 18, 50, 1.0, 3);
   MegaTeSolver megate;
-  TeSolution sol = megate.solve(s->problem());
+  TeSolution sol = megate.solve(s->problem(), {}).solution;
   const double l1 = mean_latency_hops(s->problem(), sol, 1);
   const double l3 = mean_latency_hops(s->problem(), sol, 3);
   if (l1 > 0.0 && l3 > 0.0) {
@@ -215,7 +215,7 @@ TEST_P(SolverRanking, MegaTeBetweenBaselinesAndOptimum) {
   MegaTeSolver megate;
   NcFlowSolver ncflow;
   const double opt = lp_all.solve(s->problem()).satisfied_gbps;
-  const double mega = megate.solve(s->problem()).satisfied_gbps;
+  const double mega = megate.solve(s->problem(), {}).solution.satisfied_gbps;
   const double nc = ncflow.solve(s->problem()).satisfied_gbps;
   EXPECT_LE(mega, opt * 1.02 + 1e-6);
   EXPECT_LE(nc, opt * (1.0 + 1e-6));

@@ -126,7 +126,7 @@ TEST(Controller, PublishPathStoresEntry) {
 TEST(Controller, PublishSolutionWritesPerSourceInstance) {
   auto s = megate::testing::make_scenario(6, 10, 10, 0.2);
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(s->problem());
+  te::TeSolution sol = solver.solve(s->problem(), {}).solution;
   KvStore kv(2);
   Controller ctrl(&kv);
   ctrl.publish_solution(s->problem(), sol);

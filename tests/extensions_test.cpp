@@ -274,8 +274,8 @@ TEST(MegaTe, ClusteredStage1StaysFeasibleAndClose) {
   te::MegaTeOptions copt;
   copt.stage1_clusters = 3;
   te::MegaTeSolver contracted(copt);
-  auto sp = plain.solve(s->problem());
-  auto sc = contracted.solve(s->problem());
+  auto sp = plain.solve(s->problem(), {}).solution;
+  auto sc = contracted.solve(s->problem(), {}).solution;
   te::CheckOptions check;
   check.require_flow_assignment = true;
   EXPECT_TRUE(te::check_solution(s->problem(), sc, check).ok);

@@ -423,12 +423,16 @@ TEST(ChaosTest, FiftyIntervalAcceptanceRun) {
 
 // --- period_sim link faults -------------------------------------------------
 
-TEST(PeriodSimFaultTest, ConstOverloadRejectsFaults) {
+TEST(PeriodSimFaultTest, ConstShimRejectsFaults) {
   auto s = testing::make_scenario(6, 9, 2);
   sim::PeriodSimOptions opt;
   opt.periods = 2;
   opt.link_faults.push_back({.period = 0, .count = 1});
-  EXPECT_THROW(sim::run_period_simulation(s->graph, s->tunnels, s->traffic,
+  // The const-graph compat shim cannot mutate the graph, so fault
+  // configurations must be rejected; the mutable entry point takes them.
+  const topo::Graph& const_graph = s->graph;
+  EXPECT_THROW(sim::run_period_simulation(const_graph, s->tunnels,
+                                          s->traffic,
                                           sim::DemandKnowledge::kOracle, opt),
                std::invalid_argument);
 }
@@ -439,12 +443,12 @@ TEST(PeriodSimFaultTest, FaultsDegradeThenGraphRestored) {
   opt.periods = 6;
   opt.seed = 5;
 
-  const auto clean = sim::run_period_simulation_with_faults(
+  const auto clean = sim::run_period_simulation(
       s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kOracle, opt);
 
   opt.link_faults.push_back(
       {.period = 2, .count = 2, .duration_periods = 2, .seed = 9});
-  const auto faulty = sim::run_period_simulation_with_faults(
+  const auto faulty = sim::run_period_simulation(
       s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kOracle, opt);
 
   ASSERT_EQ(clean.size(), faulty.size());

@@ -153,7 +153,7 @@ std::optional<std::string> run_case(const CaseConfig& c) {
 
     const te::SolveReport inc_report = inc_solver.solve(problem, inc_ctx());
     const te::TeSolution& inc = inc_report.solution;
-    const te::TeSolution cold = cold_solver.solve(problem);
+    const te::TeSolution cold = cold_solver.solve(problem, {}).solution;
 
     te::CheckOptions copt;
     copt.capacity_tolerance = 1e-6;
@@ -520,10 +520,10 @@ TEST(IncrementalParity, PeriodSimulationOutcomesMatch) {
   opt.link_faults.push_back({.period = 2, .count = 1,
                              .duration_periods = 2, .seed = 9});
 
-  const auto cold = sim::run_period_simulation_with_faults(
+  const auto cold = sim::run_period_simulation(
       s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kStale, opt);
   opt.incremental = true;
-  const auto inc = sim::run_period_simulation_with_faults(
+  const auto inc = sim::run_period_simulation(
       s->graph, s->tunnels, s->traffic, sim::DemandKnowledge::kStale, opt);
 
   ASSERT_EQ(cold.size(), inc.size());

@@ -56,7 +56,7 @@ TEST(Integration, FullControlLoopDeliversPacketsAlongChosenTunnel) {
 
   // --- control plane: solve + publish -----------------------------------
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(problem);
+  te::TeSolution sol = solver.solve(problem, {}).solution;
   te::CheckOptions copt;
   copt.require_flow_assignment = true;
   ASSERT_TRUE(te::check_solution(problem, sol, copt).ok);
@@ -152,7 +152,7 @@ TEST(Integration, FailureRecomputePublishesNewPaths) {
   auto s = make_scenario(9, 16, 10, 0.25, 31);
   te::TeProblem problem = s->problem();
   te::MegaTeSolver solver;
-  te::TeSolution before = solver.solve(problem);
+  te::TeSolution before = solver.solve(problem, {}).solution;
 
   ctrl::KvStore kv(2);
   ctrl::Controller controller(&kv);
@@ -163,7 +163,7 @@ TEST(Integration, FailureRecomputePublishesNewPaths) {
   auto events = topo::inject_link_failures(s->graph, 2, 5);
   ASSERT_FALSE(events.empty());
   topo::repair_tunnels(s->graph, s->tunnels);
-  te::TeSolution after = solver.solve(problem);
+  te::TeSolution after = solver.solve(problem, {}).solution;
   te::CheckOptions copt;
   copt.require_flow_assignment = true;
   EXPECT_TRUE(te::check_solution(problem, after, copt).ok);
@@ -183,7 +183,7 @@ TEST(Integration, EndToEndMetricsConsistency) {
   auto s = make_scenario(8, 14, 15, 0.35, 13);
   te::TeProblem problem = s->problem();
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(problem);
+  te::TeSolution sol = solver.solve(problem, {}).solution;
 
   // satisfied_gbps equals the sum over assigned flows.
   double manual = 0.0;

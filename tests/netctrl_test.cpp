@@ -207,6 +207,7 @@ void expect_transport_parity(const fault::ChaosOptions& base,
 
   EXPECT_EQ(inproc.fingerprint, tcp.fingerprint) << tag;
   EXPECT_EQ(inproc.event_log, tcp.event_log) << tag;
+  EXPECT_EQ(inproc.churn_log, tcp.churn_log) << tag;
   EXPECT_EQ(inproc.violations, tcp.violations) << tag;
   EXPECT_EQ(inproc.final_version, tcp.final_version) << tag;
   EXPECT_EQ(inproc.convergence_intervals_used,
@@ -243,6 +244,20 @@ TEST(ChaosTransportParityTest, ShardCrashesViaSigstopPartition) {
   o.plan.shard_crashes = 2;
   expect_transport_parity(o, fault::ShardFaultMode::kSigstop,
                           "shard-crashes/sigstop");
+}
+
+TEST(ChaosTransportParityTest, ChurnAndFaultsWithOnlinePatch) {
+  REQUIRE_DAEMON(shardd_path());
+  fault::ChaosOptions o = tcp_chaos_base();
+  o.plan.shard_crashes = 2;
+  o.churn.seed = 5;
+  o.churn.flow_scale_events = 6;
+  o.churn.flash_crowds = 2;
+  o.churn.endpoint_arrivals = 1;
+  o.churn.endpoint_departures = 1;
+  o.online_patch = true;
+  expect_transport_parity(o, fault::ShardFaultMode::kKillRestart,
+                          "churn+faults/online/kill-restart");
 }
 
 TEST(ChaosTransportParityTest, AllFaultKindsBatchedPullOverKillRestart) {

@@ -200,7 +200,7 @@ TEST(SolverEdge, EmptyTrafficMatrix) {
   p.tunnels = &s->tunnels;
   p.traffic = &empty;
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(p);
+  te::TeSolution sol = solver.solve(p, {}).solution;
   EXPECT_EQ(sol.satisfied_gbps, 0.0);
   EXPECT_TRUE(te::check_solution(p, sol).ok);
 }
@@ -211,7 +211,7 @@ TEST(SolverEdge, AllLinksDown) {
     s->graph.set_link_state(e, false);
   }
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(s->problem());
+  te::TeSolution sol = solver.solve(s->problem(), {}).solution;
   EXPECT_EQ(sol.satisfied_gbps, 0.0);
   auto res = te::check_solution(s->problem(), sol);
   EXPECT_TRUE(res.ok);
@@ -227,7 +227,7 @@ TEST(SolverEdge, SingleFlowLargerThanAnyLink) {
   monster.demand_gbps = 1e9;
   s->traffic.add(monster);
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(s->problem());
+  te::TeSolution sol = solver.solve(s->problem(), {}).solution;
   auto res = te::check_solution(s->problem(), sol);
   EXPECT_TRUE(res.ok) << "monster flow must be rejected, not squeezed in";
   EXPECT_LT(sol.satisfied_gbps, 1e9);

@@ -20,7 +20,7 @@ using megate::testing::make_scenario;
 TEST(FlowSim, LatencyAtLeastPropagation) {
   auto s = make_scenario(8, 14, 20, 0.3);
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(s->problem());
+  te::TeSolution sol = solver.solve(s->problem(), {}).solution;
   FlowSimResult r = simulate_flows(s->problem(), sol);
   EXPECT_FALSE(r.flows.empty());
   for (const FlowRecord& f : r.flows) {
@@ -36,8 +36,8 @@ TEST(FlowSim, CongestionRaisesLatency) {
   auto light = make_scenario(8, 14, 20, 0.05, 3);
   auto heavy = make_scenario(8, 14, 20, 1.2, 3);
   te::MegaTeSolver solver;
-  te::TeSolution sol_l = solver.solve(light->problem());
-  te::TeSolution sol_h = solver.solve(heavy->problem());
+  te::TeSolution sol_l = solver.solve(light->problem(), {}).solution;
+  te::TeSolution sol_h = solver.solve(heavy->problem(), {}).solution;
   FlowSimResult rl = simulate_flows(light->problem(), sol_l);
   FlowSimResult rh = simulate_flows(heavy->problem(), sol_h);
   // Same topology/seed: queueing under heavy load adds delay on top of
@@ -49,7 +49,7 @@ TEST(FlowSim, CongestionRaisesLatency) {
 TEST(FlowSim, MeanHelpersFilterByQos) {
   auto s = make_scenario(8, 14, 20, 0.3);
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(s->problem());
+  te::TeSolution sol = solver.solve(s->problem(), {}).solution;
   FlowSimResult r = simulate_flows(s->problem(), sol);
   const double all = r.mean_latency_ms(0);
   EXPECT_GT(all, 0.0);

@@ -194,7 +194,7 @@ TEST_P(MegaTeSuite, SatisfiesPaperConstraintsAcrossLoads) {
   const double load = GetParam();
   auto s = make_scenario(10, 18, 30, load);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
+  TeSolution sol = solver.solve(s->problem(), {}).solution;
   CheckOptions opt;
   opt.require_flow_assignment = true;
   auto res = check_solution(s->problem(), sol, opt);
@@ -210,7 +210,7 @@ INSTANTIATE_TEST_SUITE_P(Loads, MegaTeSuite,
 TEST(MegaTe, NearSiteLpOptimum) {
   auto s = make_scenario(8, 14, 40, 0.3);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
+  TeSolution sol = solver.solve(s->problem(), {}).solution;
   // The fractional site LP upper-bounds any indivisible assignment.
   auto demands = s->traffic.site_demands();
   SiteLpOptions lp_opt;
@@ -229,14 +229,14 @@ TEST(MegaTe, NearSiteLpOptimum) {
 TEST(MegaTe, LightLoadSatisfiesAlmostEverything) {
   auto s = make_scenario(8, 14, 20, 0.03);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
+  TeSolution sol = solver.solve(s->problem(), {}).solution;
   EXPECT_GT(sol.satisfied_ratio(), 0.95);
 }
 
 TEST(MegaTe, FlowsAreIndivisible) {
   auto s = make_scenario(8, 14, 30, 0.3);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
+  TeSolution sol = solver.solve(s->problem(), {}).solution;
   // Every flow is either unassigned or on exactly one tunnel — encoded by
   // the single index per flow; verify vector shape matches the traffic.
   for (const auto& [pair, flows] : s->traffic.pairs()) {
@@ -250,12 +250,12 @@ TEST(MegaTe, QosSequencingPutsClass1OnShortTunnels) {
   MegaTeOptions seq_opt;
   seq_opt.qos_sequencing = true;
   MegaTeSolver seq(seq_opt);
-  TeSolution with_seq = seq.solve(s->problem());
+  TeSolution with_seq = seq.solve(s->problem(), {}).solution;
 
   MegaTeOptions flat_opt;
   flat_opt.qos_sequencing = false;
   MegaTeSolver flat(flat_opt);
-  TeSolution without = flat.solve(s->problem());
+  TeSolution without = flat.solve(s->problem(), {}).solution;
 
   const double lat_seq = mean_latency_ms(s->problem(), with_seq, 1);
   const double lat_flat = mean_latency_ms(s->problem(), without, 1);
@@ -290,8 +290,8 @@ TEST(MegaTe, DeterministicAcrossRuns) {
   MegaTeOptions opt;
   opt.threads = 1;  // single-threaded for bit-stable accumulation order
   MegaTeSolver a(opt), b(opt);
-  TeSolution sa = a.solve(s->problem());
-  TeSolution sb = b.solve(s->problem());
+  TeSolution sa = a.solve(s->problem(), {}).solution;
+  TeSolution sb = b.solve(s->problem(), {}).solution;
   EXPECT_DOUBLE_EQ(sa.satisfied_gbps, sb.satisfied_gbps);
 }
 
@@ -301,8 +301,8 @@ TEST(MegaTe, ParallelMatchesSerialSatisfaction) {
   serial_opt.threads = 1;
   MegaTeOptions par_opt;
   par_opt.threads = 4;
-  TeSolution serial = MegaTeSolver(serial_opt).solve(s->problem());
-  TeSolution parallel = MegaTeSolver(par_opt).solve(s->problem());
+  TeSolution serial = MegaTeSolver(serial_opt).solve(s->problem(), {}).solution;
+  TeSolution parallel = MegaTeSolver(par_opt).solve(s->problem(), {}).solution;
   // Per-pair stage 2 is independent across pairs, so results agree.
   EXPECT_NEAR(serial.satisfied_gbps, parallel.satisfied_gbps, 1e-6);
 }
@@ -319,7 +319,7 @@ TEST(MegaTe, StageTimersPopulated) {
 TEST(MegaTe, InvalidProblemThrows) {
   MegaTeSolver solver;
   TeProblem bad;  // null pointers
-  EXPECT_THROW(solver.solve(bad), std::invalid_argument);
+  EXPECT_THROW(solver.solve(bad, {}), std::invalid_argument);
 }
 
 TEST(MegaTe, WorksAfterLinkFailures) {
@@ -327,7 +327,7 @@ TEST(MegaTe, WorksAfterLinkFailures) {
   auto events = topo::inject_link_failures(s->graph, 2, 99);
   topo::repair_tunnels(s->graph, s->tunnels);
   MegaTeSolver solver;
-  TeSolution sol = solver.solve(s->problem());
+  TeSolution sol = solver.solve(s->problem(), {}).solution;
   CheckOptions opt;
   opt.require_flow_assignment = true;
   auto res = check_solution(s->problem(), sol, opt);

@@ -139,7 +139,7 @@ TEST(Telemetry, MeasuredMatrixDrivesTheSolver) {
   problem.tunnels = &s->tunnels;
   problem.traffic = &measured;
   te::MegaTeSolver solver;
-  te::TeSolution sol = solver.solve(problem);
+  te::TeSolution sol = solver.solve(problem, {}).solution;
   te::CheckOptions copt;
   copt.require_flow_assignment = true;
   EXPECT_TRUE(te::check_solution(problem, sol, copt).ok);

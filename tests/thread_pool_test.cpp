@@ -133,9 +133,9 @@ TEST(ThreadPoolHardening, MegaTeSolverReusesItsPoolAcrossSolves) {
   te::MegaTeSolver solver;
   ThreadPool* first = &solver.thread_pool();
   auto s = megate::testing::make_scenario(4, 6, 2);
-  (void)solver.solve(s->problem());
+  (void)solver.solve(s->problem(), {});
   EXPECT_EQ(&solver.thread_pool(), first);
-  (void)solver.solve(s->problem());
+  (void)solver.solve(s->problem(), {});
   EXPECT_EQ(&solver.thread_pool(), first);
 
   // Changing the thread count rebuilds the pool (the old pool is freed,
@@ -145,7 +145,7 @@ TEST(ThreadPoolHardening, MegaTeSolverReusesItsPoolAcrossSolves) {
   opts.threads = 2;
   solver.set_options(opts);
   ThreadPool* second = &solver.thread_pool();
-  (void)solver.solve(s->problem());
+  (void)solver.solve(s->problem(), {});
   EXPECT_EQ(&solver.thread_pool(), second);
 
   // Re-setting the same count does not rebuild.

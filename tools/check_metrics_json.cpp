@@ -168,6 +168,63 @@ std::vector<std::string> check_ablation_tunnels(
   return violations;
 }
 
+/// Contract check for BENCH_online_churn.json — the online intra-interval
+/// TE bench (DESIGN.md §14). The acceptance bars of the ISSUE ride in the
+/// document so CI re-checks them wherever the JSON travels:
+///   - the regret pair (regret_boundary_gbps / regret_patch_gbps) and the
+///     three satisfied-demand series must be present,
+///   - gap_recovered >= 0.8 (the allocator recovers at least 80% of the
+///     boundary-only -> per-event-resolve satisfied-demand gap),
+///   - patch_cost_ratio in (0, 0.1] (a patch costs under 10% of a full
+///     solve per event), and
+///   - violations == 0 (capacity, hop-budget, reservation-vs-demand and
+///     unassigned-reservation audits all clean).
+std::vector<std::string> check_online_churn(const megate::obs::Json& doc) {
+  std::vector<std::string> violations;
+  const auto* gauges = doc.find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    violations.push_back("missing gauges object");
+    return violations;
+  }
+  auto gauge = [&](const std::string& name) {
+    const auto* g = gauges->find(name);
+    return (g != nullptr && g->is_number()) ? g : nullptr;
+  };
+  const std::string prefix = "online_churn.";
+  for (const char* field :
+       {"regret_boundary_gbps", "regret_patch_gbps",
+        "satisfied_boundary_only_gbps", "satisfied_patch_only_gbps",
+        "satisfied_resolve_gbps"}) {
+    if (gauge(prefix + field) == nullptr) {
+      violations.push_back("missing gauge " + prefix + field);
+    }
+  }
+  const auto* gap = gauge(prefix + "gap_recovered");
+  if (gap == nullptr) {
+    violations.push_back("missing gauge " + prefix + "gap_recovered");
+  } else if (gap->as_number() < 0.8) {
+    violations.push_back(prefix + "gap_recovered must be >= 0.8 (the "
+                         "online allocator left too much of the "
+                         "satisfied-demand gap unrecovered)");
+  }
+  const auto* cost = gauge(prefix + "patch_cost_ratio");
+  if (cost == nullptr) {
+    violations.push_back("missing gauge " + prefix + "patch_cost_ratio");
+  } else if (cost->as_number() <= 0.0 || cost->as_number() > 0.1) {
+    violations.push_back(prefix + "patch_cost_ratio must be in (0, 0.1] "
+                         "(a patch must cost under 10% of a full solve)");
+  }
+  const auto* viol = gauge(prefix + "violations");
+  if (viol == nullptr) {
+    violations.push_back("missing gauge " + prefix + "violations");
+  } else if (viol->as_number() != 0.0) {
+    violations.push_back(prefix + "violations must be 0 (a patched "
+                         "solution broke a capacity/hop-budget/"
+                         "reservation invariant)");
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +256,8 @@ int main(int argc, char** argv) {
         violations = check_stage1_sweep(*doc);
       } else if (source->as_string() == "bench/ablation_tunnels") {
         violations = check_ablation_tunnels(*doc);
+      } else if (source->as_string() == "bench/online_churn") {
+        violations = check_online_churn(*doc);
       }
     }
     if (!violations.empty()) {

@@ -15,6 +15,12 @@
 //                    [--batch N] [--log]  seeded fault-injection chaos run
 //                    (--batch N: N instances per host agent, pulled as one
 //                    consistent multi_get batch)
+//                    [--churn-scale N] [--churn-flash N]
+//                    [--churn-diurnal N] [--churn-arrivals N]
+//                    [--churn-departures N] [--churn-seed N]
+//                    [--online] [--online-drift F]  mid-interval demand
+//                    churn; --online patches the standing solution per
+//                    event instead of waiting for the interval boundary
 //
 // Exit code 0 on success, 1 on a constraint violation or solver refusal,
 // 2 on usage errors.
@@ -62,6 +68,10 @@ int usage(const char* msg = nullptr) {
       "                   [--quiet-tail S] [--shard-crashes N]\n"
       "                   [--link-failures N] [--pull-drops N]\n"
       "                   [--stale-windows N] [--k N] [--batch N]\n"
+      "                   [--churn-scale N] [--churn-flash N]\n"
+      "                   [--churn-diurnal N] [--churn-arrivals N]\n"
+      "                   [--churn-departures N] [--churn-seed N]\n"
+      "                   [--online] [--online-drift F]\n"
       "                   [--log] [--metrics-json FILE]\n"
       "KIND: b4 | deltacom | cogentco | twan; NAME: megate | lpall |\n"
       "ncflow | teal\n"
@@ -320,6 +330,16 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
     opt.instances_per_agent = batch;
     opt.batch_pull = true;
   }
+  // --churn-*: mid-interval demand churn; --online patches the standing
+  // solution per event with the online allocator.
+  opt.churn.seed = flag_u64(flags, "churn-seed", opt.plan.seed);
+  opt.churn.flow_scale_events = flag_u64(flags, "churn-scale", 0);
+  opt.churn.flash_crowds = flag_u64(flags, "churn-flash", 0);
+  opt.churn.diurnal_steps = flag_u64(flags, "churn-diurnal", 0);
+  opt.churn.endpoint_arrivals = flag_u64(flags, "churn-arrivals", 0);
+  opt.churn.endpoint_departures = flag_u64(flags, "churn-departures", 0);
+  opt.online_patch = flags.contains("online");
+  opt.online_resolve_drift = flag_double(flags, "online-drift", 0.25);
 
   obs::MetricsRegistry registry;
   opt.metrics = &registry;
@@ -327,6 +347,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
 
   if (flags.contains("log")) {
     for (const auto& line : report.event_log) std::cout << line << "\n";
+    for (const auto& line : report.churn_log) std::cout << line << "\n";
     std::cout << "\n";
   }
 
@@ -350,6 +371,12 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   }
   t.add_row({"worst interval availability",
              util::Table::num(100.0 * min_routed, 1) + "%"});
+  if (!report.churn_log.empty()) {
+    std::size_t patches = 0;
+    for (const auto& s : report.intervals) patches += s.online_patches;
+    t.add_row({"churn events", util::Table::num(report.churn_log.size())});
+    t.add_row({"online patches", util::Table::num(patches)});
+  }
   t.add_row({"converged within K",
              report.converged_within_k ? "yes" : "NO"});
   t.add_row({"violations", util::Table::num(report.violations.size())});
@@ -367,12 +394,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::map<std::string, std::string> flags;
-  // `--gml` / `--log` are boolean flags: accept them without a value.
+  // `--gml` / `--log` / `--online` are boolean flags: accept them
+  // without a value.
   std::vector<char*> args;
   for (int i = 2; i < argc; ++i) {
     args.push_back(argv[i]);
     if (std::strcmp(argv[i], "--gml") == 0 ||
-        std::strcmp(argv[i], "--log") == 0) {
+        std::strcmp(argv[i], "--log") == 0 ||
+        std::strcmp(argv[i], "--online") == 0) {
       static char yes[] = "1";
       args.push_back(yes);
     }
