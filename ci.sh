@@ -85,10 +85,12 @@ run_metrics_json_check() {
     ../bench/ablation_stage1 >/dev/null &&
     ../bench/ablation_tunnels >/dev/null &&
     ../bench/online_churn >/dev/null &&
+    ../bench/ablation_prediction >/dev/null &&
     ../bench/micro_kvstore --benchmark_filter=skip_all >/dev/null 2>&1)
   # check_metrics_json additionally enforces the per-bench contracts
   # (stage-1 thread sweep, tunnel-selection hop-budget frontier, online
-  # churn regret/violation bars).
+  # churn regret/violation bars, learned-allocation frontier speedup/
+  # quality/audit bars).
   ./build/tools/check_metrics_json "$out"/*.json
 }
 
@@ -150,6 +152,15 @@ ASAN_FILTER+=':CentralityBackend.*:TunnelStats.*'
 # audit replays every event kind.
 ASAN_FILTER+=':DemandStreamTest.*:OnlineAllocatorTest.*'
 ASAN_FILTER+=':OnlineDifferential.*:PeriodSimChurnTest.*:ChaosChurnTest.*'
+# Learned allocation (tests/learned_test.cpp): the shared repair kernel
+# reuses CSR-style SoA arenas across solves and hands out raw spans into
+# them, the quantization pass walks index-sorted views of pair flow
+# lists, and the 100+-interval differential replays train/predict cycles
+# over evolving matrices — arena reuse and span lifetime bugs are ASan
+# territory.
+ASAN_FILTER+=':TealRepairParity.*:RepairKernel.*:LearnedGate.*'
+ASAN_FILTER+=':FlowPredictorDeterminism.*:FlowPredictorEdgeCases.*'
+ASAN_FILTER+=':LearnedConcurrency.*'
 
 run_asan() {
   cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -186,6 +197,11 @@ TSAN_FILTER+=':Stage1Differential.*:Stage1Parallel.*'
 # event thread, serialized on the internal mutex) — the concurrency
 # suite drives exactly that interleaving.
 TSAN_FILTER+=':OnlineConcurrency.*'
+# LearnedAllocator's training loop: observe() (SGD + prior EWMAs) runs
+# concurrently with allocate() (model forward pass + pooled repair) and
+# the read accessors from a third thread, all serialized on the internal
+# mutex — plus the repair kernel's parallel phases on real pool workers.
+TSAN_FILTER+=':LearnedConcurrency.*:RepairKernel.*'
 
 run_tsan() {
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -32,6 +32,7 @@
 #include "megate/obs/metrics.h"
 #include "megate/ssp/fast_ssp.h"
 #include "megate/ssp/memo.h"
+#include "megate/te/learned.h"
 #include "megate/te/site_lp.h"
 #include "megate/te/types.h"
 #include "megate/tm/delta.h"
@@ -60,6 +61,11 @@ struct MegaTeOptions {
   /// straddle the split and be dropped — this pass recovers it without
   /// ever violating a link capacity. See DESIGN.md §5.
   bool residual_repair = true;
+  /// Learned fast path (SolveContext::learned): predictor, repair and
+  /// quality-gate knobs. `learned.max_sr_hops` is overridden with
+  /// `site_lp.max_sr_hops` when left 0 so both paths plan under the same
+  /// encap contract. See te/learned.h and DESIGN.md §15.
+  LearnedOptions learned;
   /// Observability registry; null = no spans/metrics (zero overhead on
   /// the solve path). When set, each solve emits the "te.solve" span with
   /// nested "stage1"/"stage2" children, per-QoS-round stage timing
@@ -98,6 +104,13 @@ struct SolveContext {
   /// when this solver has no retained state yet (e.g. the previous
   /// interval was solved elsewhere). Ignored for cold solves.
   const TeProblem* prev = nullptr;
+  /// Try the learned fast path first (predict -> repair -> audit). The
+  /// solver's quality gate decides per call: an accepted learned solution
+  /// is returned directly; otherwise the call falls back to the exact
+  /// solve (incremental when `incremental` is also set) and that outcome
+  /// is folded back into the allocator's training. Never returns an
+  /// unaudited learned solution. SolveReport::learned says what happened.
+  bool learned = false;
 };
 
 /// Solution plus the stats and timings of the call that produced it —
@@ -118,6 +131,9 @@ struct SolveReport {
   /// "te.hop_budget_violations" counter is bumped — rather than handing
   /// the dataplane routes it must refuse to encapsulate.
   std::size_t hop_budget_violations = 0;
+  /// Learned-path telemetry (default-initialized unless the call ran with
+  /// SolveContext::learned).
+  LearnedStats learned;
   /// Human-readable failure description; empty on success.
   std::string error;
 
@@ -154,7 +170,14 @@ class MegaTeSolver final : public Solver {
   /// across solves (rebuilt only when set_options changes `threads`).
   util::ThreadPool& thread_pool();
 
+  /// The learned allocator backing SolveContext::learned, created lazily
+  /// from MegaTeOptions::learned and retained across solves (its training
+  /// state is the point). set_options drops it like the incremental state.
+  LearnedAllocator& learned_allocator();
+
  private:
+  SolveReport solve_learned(const TeProblem& problem,
+                            const SolveContext& ctx);
   /// State retained between solve_incremental calls.
   struct IncrementalState {
     bool valid = false;
@@ -174,6 +197,7 @@ class MegaTeSolver final : public Solver {
   std::size_t hop_violations_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;
   std::size_t pool_threads_ = 0;
+  std::unique_ptr<LearnedAllocator> learned_;
   IncrementalStats inc_stats_;
   IncrementalState inc_state_;
 };

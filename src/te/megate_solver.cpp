@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "megate/obs/span.h"
+#include "megate/te/checker.h"
 #include "megate/util/stopwatch.h"
 
 namespace megate::te {
@@ -177,10 +178,20 @@ util::ThreadPool& MegaTeSolver::thread_pool() {
   return *pool_;
 }
 
+LearnedAllocator& MegaTeSolver::learned_allocator() {
+  if (!learned_) {
+    LearnedOptions opts = options_.learned;
+    if (opts.max_sr_hops == 0) opts.max_sr_hops = options_.site_lp.max_sr_hops;
+    learned_ = std::make_unique<LearnedAllocator>(opts);
+  }
+  return *learned_;
+}
+
 void MegaTeSolver::set_options(const MegaTeOptions& options) {
   if (options.threads != options_.threads) pool_.reset();
   options_ = options;
   reset_incremental();
+  learned_.reset();
 }
 
 void MegaTeSolver::reset_incremental() { inc_state_ = IncrementalState{}; }
@@ -192,6 +203,7 @@ TeSolution MegaTeSolver::solve(const TeProblem& problem) {
 
 SolveReport MegaTeSolver::solve(const TeProblem& problem,
                                 const SolveContext& ctx) {
+  if (ctx.learned) return solve_learned(problem, ctx);
   SolveReport report;
   if (ctx.incremental) {
     report.solution = solve_incremental_impl(problem, ctx.prev);
@@ -209,6 +221,84 @@ SolveReport MegaTeSolver::solve(const TeProblem& problem,
                    " allocation(s) exceed max_sr_hops=" +
                    std::to_string(options_.site_lp.max_sr_hops);
   }
+  return report;
+}
+
+SolveReport MegaTeSolver::solve_learned(const TeProblem& problem,
+                                        const SolveContext& ctx) {
+  if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
+  LearnedAllocator& la = learned_allocator();
+  obs::MetricsRegistry* reg = options_.metrics;
+
+  LearnedStats stats;
+  stats.attempted = true;
+  stats.observations = la.observations();
+
+  // Gate, part 1 — pre-flight guards that need no learned solve at all.
+  std::string reason;
+  if (stats.observations < la.options().min_observations) {
+    reason = "untrained";
+  } else if (la.options().drift_mape_threshold > 0.0) {
+    stats.drift_mape = la.drift_mape(*problem.traffic);
+    if (stats.drift_mape > la.options().drift_mape_threshold) {
+      reason = "drift";
+    }
+  }
+
+  // Gate, part 2 — predict -> repair, then audit the result with the same
+  // machinery every exact solve is held to: the constraint checker (link
+  // capacities, flow assignment consistency) and the plan/encap hop-budget
+  // audit. A learned solution is never returned unaudited.
+  if (reason.empty()) {
+    util::Stopwatch sw;
+    TeSolution sol = la.allocate(problem, &thread_pool());
+    stats.learned_seconds = sw.elapsed_seconds();
+    stats.predicted_satisfied_gbps = sol.satisfied_gbps;
+    stats.exact_estimate_gbps =
+        la.exact_satisfied_fraction() * sol.total_demand_gbps;
+    const std::uint32_t budget = options_.site_lp.max_sr_hops;
+    if (budget > 0 &&
+        count_hop_budget_violations(problem, sol, budget) > 0) {
+      reason = "hop_budget";
+    } else {
+      CheckOptions chk_opts;
+      chk_opts.require_flow_assignment = true;
+      if (!check_solution(problem, sol, chk_opts)) {
+        reason = "capacity";
+      } else if (sol.satisfied_gbps + 1e-9 <
+                 la.options().accept_fraction * stats.exact_estimate_gbps) {
+        reason = "quality";
+      }
+    }
+    if (reason.empty()) {
+      stats.accepted = true;
+      if (reg != nullptr) {
+        reg->counter("te.learned.accepted").inc();
+        reg->gauge("te.learned.last.satisfied_gbps").set(sol.satisfied_gbps);
+        reg->gauge("te.learned.last.solve_seconds")
+            .set(stats.learned_seconds);
+      }
+      SolveReport report;
+      report.solution = std::move(sol);
+      report.learned = std::move(stats);
+      return report;
+    }
+  }
+
+  // Fallback: the exact solve (incremental when the caller asked for it),
+  // folded back into training so the model keeps tracking the exact
+  // allocator — this is how warm-up and recovery from drift both work.
+  stats.fallback_reason = reason;
+  if (reg != nullptr) {
+    reg->counter("te.learned.fallbacks").inc();
+    reg->counter("te.learned.fallback." + reason).inc();
+  }
+  SolveContext exact_ctx = ctx;
+  exact_ctx.learned = false;
+  SolveReport report = solve(problem, exact_ctx);
+  la.observe(problem, report.solution);
+  stats.observations = la.observations();
+  report.learned = std::move(stats);
   return report;
 }
 

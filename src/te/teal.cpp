@@ -1,12 +1,15 @@
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "megate/te/baselines.h"
 #include "megate/util/stopwatch.h"
+#include "megate/util/thread_pool.h"
 
 namespace megate::te {
+
+TealSolver::~TealSolver() = default;
 
 TeSolution TealSolver::solve(const TeProblem& problem) {
   if (!problem.valid()) throw std::invalid_argument("invalid TE problem");
@@ -26,174 +29,89 @@ TeSolution TealSolver::solve(const TeProblem& problem) {
     return sol;
   }
 
-  // Dense allocation tensor: x[flow][tunnel], flattened per pair. This is
-  // the TEAL shape — the GNN/ADMM work on exactly this tensor on a GPU.
-  struct PairState {
+  if (!kernel_) kernel_ = std::make_unique<RepairKernel>();
+  if (options_.threads > 1 &&
+      (!pool_ || pool_->size() != options_.threads)) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+
+  // Dense allocation tensor: x[flow][tunnel], flattened per pair, owned by
+  // the repair kernel's SoA arena. This is the TEAL shape — the GNN/ADMM
+  // work on exactly this tensor on a GPU.
+  std::vector<double> capacity(g.num_links());
+  for (topo::EdgeId e = 0; e < g.num_links(); ++e) {
+    const topo::Link& l = g.link(e);
+    capacity[e] = l.up ? l.capacity_gbps : 0.0;
+  }
+  kernel_->reset(capacity);
+
+  struct PairRef {
     topo::SitePair pair;
     const std::vector<tm::EndpointDemand>* flows;
-    std::vector<std::size_t> alive;   // usable tunnel indices
-    std::vector<double> x;            // flows->size() * alive.size()
+    std::vector<std::size_t> alive;  // usable tunnel indices
   };
-  std::vector<PairState> states;
+  std::vector<PairRef> refs;
+  std::vector<double> demands;
   for (const auto& [pair, flows] : traffic.pairs()) {
     const auto& ts = tunnels.tunnels(pair.src, pair.dst);
-    PairState st;
-    st.pair = pair;
-    st.flows = &flows;
+    PairRef ref;
+    ref.pair = pair;
+    ref.flows = &flows;
     for (std::size_t t = 0; t < ts.size(); ++t) {
-      if (ts[t].alive(g)) st.alive.push_back(t);
+      if (ts[t].alive(g)) ref.alive.push_back(t);
     }
-    if (st.alive.empty()) continue;
-    st.x.assign(flows.size() * st.alive.size(), 0.0);
-    states.push_back(std::move(st));
+    if (ref.alive.empty()) continue;
+    demands.resize(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      demands[i] = flows[i].demand_gbps;
+    }
+    kernel_->begin_pair(demands);
+    for (std::size_t a : ref.alive) kernel_->add_tunnel(ts[a].links);
+    kernel_->finish_pair();
+    refs.push_back(std::move(ref));
   }
 
   // --- "Forward pass": softmax over tunnel weights ----------------------
-  for (PairState& st : states) {
-    const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-    std::vector<double> probs(st.alive.size());
+  std::vector<double> probs;
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    const PairRef& ref = refs[p];
+    const auto& ts = tunnels.tunnels(ref.pair.src, ref.pair.dst);
+    probs.assign(ref.alive.size(), 0.0);
     double z = 0.0;
-    for (std::size_t a = 0; a < st.alive.size(); ++a) {
+    for (std::size_t a = 0; a < ref.alive.size(); ++a) {
       probs[a] = std::exp(-options_.softmax_temperature *
-                          (ts[st.alive[a]].weight - 1.0));
+                          (ts[ref.alive[a]].weight - 1.0));
       z += probs[a];
     }
-    for (double& p : probs) p /= z;
-    for (std::size_t i = 0; i < st.flows->size(); ++i) {
-      const double d = (*st.flows)[i].demand_gbps;
-      for (std::size_t a = 0; a < st.alive.size(); ++a) {
-        st.x[i * st.alive.size() + a] = d * probs[a];
+    for (double& pr : probs) pr /= z;
+    const std::span<double> x = kernel_->x(p);
+    for (std::size_t i = 0; i < ref.flows->size(); ++i) {
+      const double d = (*ref.flows)[i].demand_gbps;
+      for (std::size_t a = 0; a < ref.alive.size(); ++a) {
+        x[i * ref.alive.size() + a] = d * probs[a];
       }
     }
   }
 
-  // --- ADMM-style capacity projection iterations ------------------------
-  std::vector<double> usage(g.num_links());
-  std::vector<double> scale(g.num_links());
-  for (std::size_t iter = 0; iter < options_.admm_iterations; ++iter) {
-    std::fill(usage.begin(), usage.end(), 0.0);
-    for (const PairState& st : states) {
-      const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-      std::vector<double> tunnel_sums(st.alive.size(), 0.0);
-      for (std::size_t i = 0; i < st.flows->size(); ++i) {
-        for (std::size_t a = 0; a < st.alive.size(); ++a) {
-          tunnel_sums[a] += st.x[i * st.alive.size() + a];
-        }
-      }
-      for (std::size_t a = 0; a < st.alive.size(); ++a) {
-        for (topo::EdgeId e : ts[st.alive[a]].links) {
-          usage[e] += tunnel_sums[a];
-        }
-      }
-    }
-    // Per-link multiplicative projection factor (soft in early iterations
-    // for ADMM-like smoothing, hard in the final one for feasibility).
-    const bool last = iter + 1 == options_.admm_iterations;
-    bool any_overload = false;
-    for (topo::EdgeId e = 0; e < g.num_links(); ++e) {
-      const topo::Link& l = g.link(e);
-      const double cap = l.up ? l.capacity_gbps : 0.0;
-      if (cap <= 0.0) {
-        scale[e] = usage[e] > 0.0 ? 0.0 : 1.0;
-        if (usage[e] > 0.0) any_overload = true;
-        continue;
-      }
-      if (usage[e] > cap) {
-        any_overload = true;
-        const double hard = cap / usage[e];
-        scale[e] = last ? hard : 0.5 * (1.0 + hard);  // damped step
-      } else {
-        scale[e] = 1.0;
-      }
-    }
-    for (PairState& st : states) {
-      const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-      for (std::size_t a = 0; a < st.alive.size(); ++a) {
-        double factor = 1.0;
-        for (topo::EdgeId e : ts[st.alive[a]].links) {
-          factor = std::min(factor, scale[e]);
-        }
-        if (factor >= 1.0) continue;
-        for (std::size_t i = 0; i < st.flows->size(); ++i) {
-          st.x[i * st.alive.size() + a] *= factor;
-        }
-      }
-    }
-
-    // --- refill step -----------------------------------------------------
-    // The projection frees capacity that other (unsaturated) flows could
-    // use; redistribute each flow's unallocated remainder against the
-    // global residual, ascending tunnel weight. This is the "dual update
-    // steers reallocation" half of ADMM, implemented greedily.
-    if (!last) {
-      std::vector<double> residual(g.num_links(), 0.0);
-      std::fill(usage.begin(), usage.end(), 0.0);
-      for (const PairState& st : states) {
-        const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-        for (std::size_t a = 0; a < st.alive.size(); ++a) {
-          double tunnel_sum = 0.0;
-          for (std::size_t i = 0; i < st.flows->size(); ++i) {
-            tunnel_sum += st.x[i * st.alive.size() + a];
-          }
-          for (topo::EdgeId e : ts[st.alive[a]].links) {
-            usage[e] += tunnel_sum;
-          }
-        }
-      }
-      for (topo::EdgeId e = 0; e < g.num_links(); ++e) {
-        const topo::Link& l = g.link(e);
-        residual[e] =
-            (l.up ? l.capacity_gbps : 0.0) - usage[e];
-      }
-      for (PairState& st : states) {
-        const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-        double unallocated = 0.0;
-        std::vector<double> per_flow(st.flows->size());
-        for (std::size_t i = 0; i < st.flows->size(); ++i) {
-          double got = 0.0;
-          for (std::size_t a = 0; a < st.alive.size(); ++a) {
-            got += st.x[i * st.alive.size() + a];
-          }
-          per_flow[i] = std::max(0.0, (*st.flows)[i].demand_gbps - got);
-          unallocated += per_flow[i];
-        }
-        if (unallocated <= 1e-12) continue;
-        for (std::size_t a = 0; a < st.alive.size() && unallocated > 1e-12;
-             ++a) {
-          double room = std::numeric_limits<double>::infinity();
-          for (topo::EdgeId e : ts[st.alive[a]].links) {
-            room = std::min(room, residual[e]);
-          }
-          if (room <= 1e-12) continue;
-          const double grant = std::min(room, unallocated);
-          const double frac = grant / unallocated;
-          for (std::size_t i = 0; i < st.flows->size(); ++i) {
-            const double add = per_flow[i] * frac;
-            st.x[i * st.alive.size() + a] += add;
-            per_flow[i] -= add;
-          }
-          for (topo::EdgeId e : ts[st.alive[a]].links) {
-            residual[e] -= grant;
-          }
-          unallocated -= grant;
-        }
-      }
-    } else if (!any_overload) {
-      break;
-    }
-  }
+  // --- ADMM-style capacity projection + refill --------------------------
+  RepairOptions ropt;
+  ropt.iterations = options_.admm_iterations;
+  ropt.pool = pool_.get();
+  kernel_->run(ropt);
 
   // --- Emit solution -----------------------------------------------------
   std::size_t dense_elems = 0;
-  for (const PairState& st : states) {
-    const auto& ts = tunnels.tunnels(st.pair.src, st.pair.dst);
-    auto& alloc = sol.pairs[st.pair];
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    const PairRef& ref = refs[p];
+    const auto& ts = tunnels.tunnels(ref.pair.src, ref.pair.dst);
+    auto& alloc = sol.pairs[ref.pair];
     alloc.tunnel_alloc.assign(ts.size(), 0.0);
-    dense_elems += st.x.size();
-    for (std::size_t i = 0; i < st.flows->size(); ++i) {
-      for (std::size_t a = 0; a < st.alive.size(); ++a) {
-        const double v = st.x[i * st.alive.size() + a];
-        alloc.tunnel_alloc[st.alive[a]] += v;
+    const std::span<const double> x = kernel_->x(p);
+    dense_elems += x.size();
+    for (std::size_t i = 0; i < ref.flows->size(); ++i) {
+      for (std::size_t a = 0; a < ref.alive.size(); ++a) {
+        const double v = x[i * ref.alive.size() + a];
+        alloc.tunnel_alloc[ref.alive[a]] += v;
         sol.satisfied_gbps += v;
       }
     }

@@ -1,7 +1,10 @@
 #include "megate/tm/prediction.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace megate::tm {
 
@@ -48,12 +51,25 @@ void FlowPredictor::observe(const TrafficMatrix& measured) {
 }
 
 TrafficMatrix FlowPredictor::predict() const {
+  // state_ is an unordered_map, whose iteration order depends on hash
+  // seeding and insertion history. Per-pair flow-vector order is
+  // semantically meaningful downstream (flow_tunnel indices, demand
+  // fingerprints, memo keys), so emit in sorted (src, dst) order to make
+  // two predictors with equal state produce byte-identical matrices.
+  std::vector<const std::pair<const FlowKey, FlowState>*> entries;
+  entries.reserve(state_.size());
+  for (const auto& entry : state_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    if (a->first.src != b->first.src) return a->first.src < b->first.src;
+    return a->first.dst < b->first.dst;
+  });
   TrafficMatrix out;
-  for (const auto& [key, st] : state_) {
+  for (const auto* entry : entries) {
+    const FlowState& st = entry->second;
     if (st.estimate <= 0.0) continue;
     EndpointDemand d;
-    d.src = key.src;
-    d.dst = key.dst;
+    d.src = entry->first.src;
+    d.dst = entry->first.dst;
     d.demand_gbps = st.estimate;
     d.qos = st.qos;
     out.add(d);

@@ -225,6 +225,104 @@ std::vector<std::string> check_online_churn(const megate::obs::Json& doc) {
   return violations;
 }
 
+/// Contract check for BENCH_ablation_prediction.json — the learned-
+/// allocation frontier (DESIGN.md §15). Per-replay detail gauges are
+/// discovered from "<topo>.churn<P>.learned_speedup_vs_incremental"; the
+/// global acceptance bars (worst case across replays) must hold:
+///   - learned_speedup_vs_incremental >= 5 (median wall-clock),
+///   - learned_satisfied_fraction >= 0.95 of the incremental-exact lane,
+///   - learned_violations == 0 (capacity + flow-assignment + hop-budget
+///     audits clean on every learned-lane interval), and
+///   - shift_fallback == 1 and shift_recovered == 1 (the x8 flash-crowd
+///     interval tripped the gate and the fallback matched the exact
+///     solve).
+std::vector<std::string> check_ablation_prediction(
+    const megate::obs::Json& doc) {
+  std::vector<std::string> violations;
+  const auto* gauges = doc.find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    violations.push_back("missing gauges object");
+    return violations;
+  }
+  auto gauge = [&](const std::string& name) {
+    const auto* g = gauges->find(name);
+    return (g != nullptr && g->is_number()) ? g : nullptr;
+  };
+  const std::string prefix = "ablation_prediction.";
+  // The original knowledge ablation must still be there.
+  for (const char* field : {"stale_mean_satisfied", "ewma_mean_satisfied",
+                            "oracle_mean_satisfied"}) {
+    if (gauge(prefix + field) == nullptr) {
+      violations.push_back("missing gauge " + prefix + field);
+    }
+  }
+  // Discover the per-replay frontier detail.
+  const std::string detail = ".learned_speedup_vs_incremental";
+  std::size_t replays = 0;
+  for (const auto& [name, value] : gauges->members()) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.size() <= detail.size() ||
+        name.compare(name.size() - detail.size(), detail.size(), detail) !=
+            0 ||
+        name.find(".churn") == std::string::npos) {
+      continue;
+    }
+    ++replays;
+    const std::string stem =
+        name.substr(0, name.size() - detail.size()) + ".";
+    for (const char* field :
+         {"exact_median_seconds", "incremental_median_seconds",
+          "learned_median_seconds", "learned_satisfied_fraction",
+          "learned_accept_rate", "violations"}) {
+      if (gauge(stem + field) == nullptr) {
+        violations.push_back("missing gauge " + stem + field);
+      }
+    }
+    (void)value;
+  }
+  if (replays == 0) {
+    violations.push_back("no <topo>.churn<P>" + detail +
+                         " gauges — learned frontier replay missing");
+  }
+  // Global acceptance bars.
+  const auto* speedup = gauge(prefix + "learned_speedup_vs_incremental");
+  if (speedup == nullptr) {
+    violations.push_back("missing gauge " + prefix +
+                         "learned_speedup_vs_incremental");
+  } else if (speedup->as_number() < 5.0) {
+    violations.push_back(prefix + "learned_speedup_vs_incremental must be "
+                         ">= 5 (the learned path lost its wall-clock edge "
+                         "over incremental-exact)");
+  }
+  const auto* sat = gauge(prefix + "learned_satisfied_fraction");
+  if (sat == nullptr) {
+    violations.push_back("missing gauge " + prefix +
+                         "learned_satisfied_fraction");
+  } else if (sat->as_number() < 0.95) {
+    violations.push_back(prefix + "learned_satisfied_fraction must be >= "
+                         "0.95 of the incremental-exact lane");
+  }
+  const auto* viol = gauge(prefix + "learned_violations");
+  if (viol == nullptr) {
+    violations.push_back("missing gauge " + prefix + "learned_violations");
+  } else if (viol->as_number() != 0.0) {
+    violations.push_back(prefix + "learned_violations must be 0 (a "
+                         "learned-lane solution broke a capacity/"
+                         "assignment/hop-budget audit)");
+  }
+  for (const char* field : {"shift_fallback", "shift_recovered"}) {
+    const auto* g = gauge(prefix + field);
+    if (g == nullptr) {
+      violations.push_back("missing gauge " + prefix + field);
+    } else if (g->as_number() != 1.0) {
+      violations.push_back(prefix + std::string(field) + " must be 1 (the "
+                           "flash-crowd interval did not trip the gate / "
+                           "recover the exact answer)");
+    }
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +356,8 @@ int main(int argc, char** argv) {
         violations = check_ablation_tunnels(*doc);
       } else if (source->as_string() == "bench/online_churn") {
         violations = check_online_churn(*doc);
+      } else if (source->as_string() == "bench/ablation_prediction") {
+        violations = check_ablation_prediction(*doc);
       }
     }
     if (!violations.empty()) {

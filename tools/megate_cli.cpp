@@ -7,6 +7,8 @@
 //                    [--gml] [--endpoints N] [--load F]
 //                    [--solver megate|lpall|ncflow|teal] [--seed N]
 //                    [--max-sr-hops N] [--tunnel-selection ksp|centrality]
+//                    [--learned ...]  learned fast path with exact-solve
+//                    fallback (see the --learned* knobs in usage)
 //   megate_cli sync  --endpoints N                  Fig. 14 resource rows
 //   megate_cli chaos [--seed N] [--intervals N] [--sites N] [--links N]
 //                    [--endpoints N] [--shards N] [--quiet-tail S]
@@ -61,6 +63,10 @@ int usage(const char* msg = nullptr) {
       "                   [--endpoints N] [--load F] [--solver NAME]\n"
       "                   [--seed N] [--max-sr-hops N]\n"
       "                   [--tunnel-selection ksp|centrality]\n"
+      "                   [--learned] [--learned-warmup N]\n"
+      "                   [--learned-accept F] [--learned-lr F]\n"
+      "                   [--learned-repair-iters N] [--learned-min-obs N]\n"
+      "                   [--learned-drift F]\n"
       "                   [--metrics-json FILE]\n"
       "  megate_cli sync  --endpoints N [--metrics-json FILE]\n"
       "  megate_cli chaos [--seed N] [--intervals N] [--sites N]\n"
@@ -220,12 +226,30 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   tm::TrafficMatrix traffic =
       tm::generate_traffic(*graph, layout, tmo, seed + 1);
 
+  // --learned: route the solve through the learned fast path (predict ->
+  // repair -> audit with exact fallback). The allocator first warms up on
+  // --learned-warmup exact solves so the quality gate has an estimate to
+  // compare against; the gate decision is reported in the table.
+  const bool learned = flags.contains("learned");
+  te::MegaTeSolver* megate_solver = nullptr;
   std::unique_ptr<te::Solver> solver;
   if (solver_name == "megate") {
     te::MegaTeOptions mopt;
     mopt.metrics = &registry;
     mopt.site_lp.max_sr_hops = topt.max_sr_hops;
-    solver = std::make_unique<te::MegaTeSolver>(mopt);
+    mopt.learned.accept_fraction =
+        flag_double(flags, "learned-accept", mopt.learned.accept_fraction);
+    mopt.learned.learning_rate =
+        flag_double(flags, "learned-lr", mopt.learned.learning_rate);
+    mopt.learned.repair_iterations = flag_u64(
+        flags, "learned-repair-iters", mopt.learned.repair_iterations);
+    mopt.learned.min_observations =
+        flag_u64(flags, "learned-min-obs", mopt.learned.min_observations);
+    mopt.learned.drift_mape_threshold = flag_double(
+        flags, "learned-drift", mopt.learned.drift_mape_threshold);
+    auto ms = std::make_unique<te::MegaTeSolver>(mopt);
+    megate_solver = ms.get();
+    solver = std::move(ms);
   } else if (solver_name == "lpall") {
     solver = std::make_unique<te::LpAllSolver>();
   } else if (solver_name == "ncflow") {
@@ -240,7 +264,27 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   problem.graph = &*graph;
   problem.tunnels = &tunnels;
   problem.traffic = &traffic;
-  te::TeSolution sol = solver->solve(problem);
+  if (learned && megate_solver == nullptr) {
+    return usage("--learned requires --solver megate");
+  }
+  te::TeSolution sol;
+  te::LearnedStats learned_stats;
+  if (learned) {
+    const std::uint64_t warmup = flag_u64(
+        flags, "learned-warmup",
+        megate_solver->options().learned.min_observations);
+    for (std::uint64_t i = 0; i < warmup; ++i) {
+      const te::SolveReport warm = megate_solver->solve(problem, {});
+      megate_solver->learned_allocator().observe(problem, warm.solution);
+    }
+    te::SolveContext sctx;
+    sctx.learned = true;
+    te::SolveReport report = megate_solver->solve(problem, sctx);
+    learned_stats = report.learned;
+    sol = std::move(report.solution);
+  } else {
+    sol = solver->solve(problem);
+  }
   if (!sol.solved) {
     std::cerr << sol.solver_name
               << ": instance too large for this solver (the paper's OOM "
@@ -262,6 +306,15 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
   t.add_row({"max link utilization",
              util::Table::num(100.0 * check.max_link_utilization, 1) + "%"});
   t.add_row({"constraints", check.ok ? "satisfied" : "VIOLATED"});
+  if (learned) {
+    t.add_row({"learned path", learned_stats.accepted
+                                   ? "accepted"
+                                   : "fallback (" +
+                                         learned_stats.fallback_reason +
+                                         ")"});
+    t.add_row({"learned solve (s)",
+               util::Table::num(learned_stats.learned_seconds, 4)});
+  }
   t.print(std::cout);
   if (!check.ok) {
     for (const auto& v : check.violations) std::cerr << "  " << v << "\n";
@@ -276,6 +329,12 @@ int cmd_solve(const std::map<std::string, std::string>& flags) {
       .set(static_cast<double>(traffic.num_flows()));
   registry.gauge("cli.solve.endpoints")
       .set(static_cast<double>(layout.total_endpoints()));
+  if (learned) {
+    registry.gauge("cli.solve.learned_accepted")
+        .set(learned_stats.accepted ? 1.0 : 0.0);
+    registry.gauge("cli.solve.learned_seconds")
+        .set(learned_stats.learned_seconds);
+  }
   if (!export_metrics(flags, registry, "megate_cli solve")) return 1;
   return check.ok ? 0 : 1;
 }
@@ -401,7 +460,8 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
     if (std::strcmp(argv[i], "--gml") == 0 ||
         std::strcmp(argv[i], "--log") == 0 ||
-        std::strcmp(argv[i], "--online") == 0) {
+        std::strcmp(argv[i], "--online") == 0 ||
+        std::strcmp(argv[i], "--learned") == 0) {
       static char yes[] = "1";
       args.push_back(yes);
     }
